@@ -1,0 +1,69 @@
+"""Figure 11: the dependence-graph-based solver vs the standalone solver.
+
+The paper solves every SMT instance from the null-exception analysis both
+with Fusion's graph-based solver and with Z3's default solver: 60% of the
+310k instances are satisfiable, 21% are settled during preprocessing, and
+the graph solver is ~3.0x faster on sat, ~1.8x on unsat, ~2.5x overall.
+
+Here the two solvers see the same candidates on the same PDGs (the sparse
+collection is deterministic), so query records pair up one-to-one:
+Fusion's graph solver vs the conventional expand-then-solve pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.bench import render_scatter_summary, render_table, run_engine
+from repro.smt import SmtStatus
+
+SUBJECTS_USED = ("parser", "vpr", "gap", "gcc", "ffmpeg", "v8", "mysql",
+                 "wine")
+
+
+def collect():
+    pairs = []          # (fusion_s, standalone_s, status)
+    preprocess_hits = 0
+    total = 0
+    for name in SUBJECTS_USED:
+        fusion = run_engine(name, "fusion", "null-deref")
+        standalone = run_engine(name, "pinpoint", "null-deref")
+        assert len(fusion.query_records) == len(standalone.query_records)
+        for ours, theirs in zip(fusion.query_records,
+                                standalone.query_records):
+            assert ours.status == theirs.status, name
+            total += 1
+            if ours.decided_in_preprocess:
+                preprocess_hits += 1
+            pairs.append((ours.seconds, theirs.seconds,
+                          ours.status.value))
+    return pairs, preprocess_hits, total
+
+
+def test_fig11(benchmark, save_result):
+    pairs, preprocess_hits, total = benchmark.pedantic(
+        collect, rounds=1, iterations=1)
+
+    sat = [p for p in pairs if p[2] == "sat"]
+    unsat = [p for p in pairs if p[2] == "unsat"]
+    summary = render_scatter_summary(pairs)
+    extra = render_table(
+        ["metric", "value"],
+        [("instances", total),
+         ("sat share", f"{len(sat) / total:.0%}"),
+         ("unsat share", f"{len(unsat) / total:.0%}"),
+         ("decided in preprocessing", f"{preprocess_hits / total:.0%}")],
+        title="Instance mix (paper: 60% sat / 40% unsat / 21% preprocess)")
+    save_result("fig11_smt_scatter", summary + "\n\n" + extra)
+
+    # Status agreement already asserted during collection; now the shape:
+    assert total >= 20
+    assert sat and unsat  # both verdicts are represented
+    # A healthy slice of instances falls to preprocessing alone.
+    assert preprocess_hits / total > 0.15
+    # Aggregate: the graph-based solver is faster overall, and on the sat
+    # slice in particular (the paper's largest win).
+    ours_total = sum(p[0] for p in pairs)
+    theirs_total = sum(p[1] for p in pairs)
+    assert theirs_total > ours_total
+    ours_sat = sum(p[0] for p in sat)
+    theirs_sat = sum(p[1] for p in sat)
+    assert theirs_sat > ours_sat

@@ -1,0 +1,115 @@
+"""Table 1: the cost of computing/solving/caching path conditions.
+
+The paper's cost model: for a caller of size m invoking a callee of size n
+at k sites, the conventional design pays O(kn + m) in computing, solving,
+and caching, while the fused design pays O(n + m) and caches nothing.
+This bench builds foo/bar-style nests with varying fan-out k and call
+depth, runs both engines on the same null-deref candidate, and measures
+the *actual* constraint-set sizes each engine materialises.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import PinpointEngine
+from repro.bench import render_table
+from repro.checkers import NullDereferenceChecker
+from repro.fusion import FusionEngine, prepare_pdg
+from repro.lang import compile_source
+
+
+def knest_source(depth: int, fanout: int, leaf_stmts: int = 4) -> str:
+    """A call chain of ``depth`` levels, each calling the next level at
+    ``fanout`` chained sites — the generalised Figure 1 program."""
+    lines = []
+    body = "\n".join(f"  w{i} = a * 2 + {i};" for i in range(leaf_stmts))
+    lines.append(f"fun level{depth}(a, b) {{\n{body}\n"
+                 f"  return w{leaf_stmts - 1};\n}}")
+    for level in range(depth - 1, -1, -1):
+        calls = []
+        prev = "a"
+        for site in range(fanout):
+            calls.append(f"  r{site} = level{level + 1}({prev}, b);")
+            prev = f"r{site}"
+        call_block = "\n".join(calls)
+        lines.append(f"fun level{level}(a, b) {{\n{call_block}\n"
+                     f"  return {prev} * 2 + 1;\n}}")
+    lines.append("""
+fun entry(k, m) {
+  p = null;
+  c = level0(k, m);
+  d = level0(m, k);
+  if (c < d || k > 50) {
+    deref(p);
+  }
+  return 0;
+}
+""")
+    return "\n".join(lines)
+
+
+def measure(depth: int, fanout: int) -> dict:
+    pdg = prepare_pdg(compile_source(knest_source(depth, fanout)))
+    checker = NullDereferenceChecker()
+
+    fusion = FusionEngine(pdg)
+    fusion_result = fusion.analyze(checker)
+    pinpoint = PinpointEngine(pdg)
+    pinpoint_result = pinpoint.analyze(checker)
+
+    assert {(r.source.index, r.sink.index) for r in fusion_result.bugs} == \
+        {(r.source.index, r.sink.index) for r in pinpoint_result.bugs}
+    return {
+        "depth": depth,
+        "fanout": fanout,
+        "fusion_nodes": fusion.solver.stats.peak_condition_nodes
+        + fusion.solver.stats.template_nodes,
+        "pinpoint_nodes": pinpoint.cached_condition_nodes
+        + pinpoint.peak_condition_nodes,
+        "fusion_time": fusion_result.wall_time,
+        "pinpoint_time": pinpoint_result.wall_time,
+    }
+
+
+@pytest.mark.parametrize("fanout", [1, 2, 3])
+def test_condition_size_scaling(benchmark, fanout, save_result):
+    """Conventional condition size grows geometrically with fan-out at
+    fixed depth; the fused representation stays (near-)flat."""
+    rows = benchmark.pedantic(
+        lambda: [measure(depth=4, fanout=f) for f in (1, fanout)],
+        rounds=1, iterations=1)
+    base, varied = rows
+    if fanout > 1:
+        pinpoint_growth = varied["pinpoint_nodes"] / base["pinpoint_nodes"]
+        fusion_growth = varied["fusion_nodes"] / base["fusion_nodes"]
+        # Cloning makes the conventional condition grow much faster than
+        # the fused one (O(k^depth) vs O(k·depth) — Table 1).
+        assert pinpoint_growth > fusion_growth * 1.5, (rows,)
+
+
+def test_table1_report(benchmark, save_result):
+    rows = benchmark.pedantic(
+        lambda: [measure(depth, fanout)
+                 for depth in (2, 3, 4) for fanout in (1, 2, 3)],
+        rounds=1, iterations=1)
+    table = render_table(
+        ["depth", "k", "fusion nodes", "pinpoint nodes", "ratio",
+         "fusion s", "pinpoint s"],
+        [(r["depth"], r["fanout"], r["fusion_nodes"], r["pinpoint_nodes"],
+          f"{r['pinpoint_nodes'] / max(1, r['fusion_nodes']):.1f}x",
+          f"{r['fusion_time']:.3f}", f"{r['pinpoint_time']:.3f}")
+         for r in rows],
+        title="Table 1 analogue: condition size, conventional vs fused")
+    save_result("table1_complexity", table)
+
+    # At every (depth, k), the conventional representation is at least as
+    # large, and the gap widens with both depth and fan-out.
+    by_key = {(r["depth"], r["fanout"]): r for r in rows}
+    for r in rows:
+        assert r["pinpoint_nodes"] >= r["fusion_nodes"]
+    deep = by_key[(4, 3)]
+    shallow = by_key[(2, 1)]
+    deep_gap = deep["pinpoint_nodes"] / deep["fusion_nodes"]
+    shallow_gap = shallow["pinpoint_nodes"] / max(1, shallow["fusion_nodes"])
+    assert deep_gap > shallow_gap

@@ -1,0 +1,43 @@
+"""Table 2: the evaluation subjects.
+
+Regenerates the subject-statistics table (KLoC -> LoC at ~1/1000 scale,
+function counts, PDG vertices/edges) next to the paper's reported numbers
+so the scaling is auditable.
+"""
+
+from __future__ import annotations
+
+from repro.bench import SUBJECTS, materialize, pdg_for, render_table
+
+
+def collect_rows():
+    rows = []
+    for subject in SUBJECTS:
+        generated = materialize(subject.name)
+        pdg = pdg_for(subject.name)
+        stats = pdg.stats()
+        rows.append((
+            subject.id, subject.name, subject.paper.kloc,
+            subject.paper.functions, generated.loc,
+            stats["functions"], stats["vertices"],
+            stats["data_edges"] + stats["control_edges"],
+        ))
+    return rows
+
+
+def test_table2_subjects(benchmark, save_result):
+    rows = benchmark.pedantic(collect_rows, rounds=1, iterations=1)
+    table = render_table(
+        ["ID", "Program", "paper KLoC", "paper #fn", "LoC", "#fn",
+         "#vertices", "#edges"],
+        rows, title="Table 2 analogue: subjects (ours at ~1/1000 scale)")
+    save_result("table2_subjects", table)
+
+    assert len(rows) == 16
+    # Size ordering is broadly preserved: the industrial subjects dwarf
+    # the SPEC ones.
+    spec_vertices = [r[6] for r in rows[:12]]
+    industrial_vertices = [r[6] for r in rows[12:]]
+    assert min(industrial_vertices) > sum(spec_vertices) / len(spec_vertices)
+    # Strict growth from the smallest to the largest subject.
+    assert rows[0][6] < rows[15][6]

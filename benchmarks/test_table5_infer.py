@@ -1,0 +1,67 @@
+"""Table 5: Fusion vs Infer on the industrial subjects.
+
+The paper: Fusion uses a fraction of Infer's time/memory while reporting
+more real bugs with fewer false positives (FP rate 29.2% vs 66.1%); the
+gap comes from Infer's path-insensitivity, summary caching, and bounded
+cross-function reasoning.
+"""
+
+from __future__ import annotations
+
+from repro.bench import (fmt_failure, industrial_subjects, render_table,
+                         run_engine, speedup)
+
+
+def collect():
+    rows = []
+    for subject in industrial_subjects():
+        fusion = run_engine(subject.name, "fusion", "null-deref")
+        infer = run_engine(subject.name, "infer", "null-deref")
+        rows.append((subject, fusion, infer))
+    return rows
+
+
+def test_table5(benchmark, save_result):
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    def fp_rate(outcomes):
+        reports = sum(o.precision.reports for o in outcomes)
+        fps = sum(o.precision.false_positives for o in outcomes)
+        return fps / reports if reports else 0.0
+
+    table = render_table(
+        ["Program",
+         "Fusion mem", "Fusion s", "F #Rep", "F #TP", "F #FP",
+         "Infer mem", "Infer s", "I #Rep", "I #TP", "I #FP"],
+        [(subject.name,
+          fusion.result.memory_units, f"{fusion.result.wall_time:.2f}",
+          fusion.precision.reports, fusion.precision.true_positives,
+          fusion.precision.false_positives,
+          fmt_failure(infer.failed) or infer.result.memory_units,
+          f"{infer.result.wall_time:.2f}",
+          infer.precision.reports, infer.precision.true_positives,
+          infer.precision.false_positives)
+         for subject, fusion, infer in rows],
+        title="Table 5 analogue: Fusion vs Infer (null exceptions)")
+    fusion_rate = fp_rate([f for _, f, _ in rows])
+    infer_rate = fp_rate([i for _, _, i in rows])
+    footer = (f"FP rate: fusion {fusion_rate:.1%} vs infer "
+              f"{infer_rate:.1%} (paper: 29.2% vs 66.1%)")
+    save_result("table5_infer", table + "\n" + footer)
+
+    for subject, fusion, infer in rows:
+        assert fusion.failed is None
+        # Infer reports at least as many candidates (it keeps the
+        # infeasible ones) ...
+        assert infer.precision.reports >= fusion.precision.reports \
+            or infer.precision.false_positives >= \
+            fusion.precision.false_positives, subject.name
+        # ... but never more true positives (it misses deep flows).
+        assert infer.precision.true_positives <= \
+            fusion.precision.true_positives, subject.name
+
+    # The headline precision claim: Infer's FP rate is clearly higher.
+    assert infer_rate > fusion_rate
+    # And Fusion finds every injected real bug the sparse engine can see.
+    total_missed = sum(f.precision.missed_real for _, f, _ in rows)
+    assert total_missed == 0

@@ -1,0 +1,79 @@
+"""Writing a custom checker in ~20 lines.
+
+The paper's Section 3.3, point (3): with the fused design, "developers no
+longer need to care about the details of computing path conditions and
+can focus on the design of the data flow analysis".  This example defines
+a brand-new checker — SQL-injection style: raw user input reaching a
+query executor — as nothing more than source/sink/transfer declarations,
+and gets inter-procedural path-sensitivity for free.  Run with::
+
+    python examples/custom_checker.py
+"""
+
+from repro.checkers import TaintChecker
+from repro.fusion import FusionEngine, prepare_pdg
+from repro.lang import compile_source
+
+
+def sql_injection_checker() -> TaintChecker:
+    """User-controlled strings must not reach the query executor raw."""
+    return TaintChecker(
+        name="sqli",
+        source_calls=frozenset({"http_param", "form_field"}),
+        sink_calls=frozenset({"exec_query", "exec_statement"}),
+        sanitizers=frozenset({"escape_sql", "bind_param"}),
+    )
+
+
+SOURCE = """
+fun build_filter(raw) {
+  clause = raw + 1;          # string concat, modelled arithmetically
+  return clause;
+}
+
+fun list_users(page) {
+  name = http_param();
+  clause = build_filter(name);
+  if (page > 0) {
+    exec_query(clause);       # BUG: raw input crosses two functions
+  }
+  return 0;
+}
+
+fun list_users_safe(page) {
+  name = http_param();
+  safe = escape_sql(name);
+  clause = build_filter(safe);
+  if (page > 0) {
+    exec_query(clause);       # sanitized: not reported
+  }
+  return 0;
+}
+
+fun debug_dump(flag) {
+  field = form_field();
+  dead = flag != flag;
+  if (dead) {
+    exec_statement(field);    # infeasible guard: filtered
+  }
+  return 0;
+}
+"""
+
+
+def main() -> None:
+    pdg = prepare_pdg(compile_source(SOURCE))
+    checker = sql_injection_checker()
+    result = FusionEngine(pdg).analyze(checker)
+
+    print(f"{checker.name}: {len(result.bugs)} finding(s) out of "
+          f"{result.candidates} candidate flow(s)\n")
+    for report in result.reports:
+        verdict = "FINDING " if report.feasible else "filtered"
+        trace = " -> ".join(f"{s.vertex.function}:{s.vertex.var.name}"
+                            for s in report.candidate.path.steps)
+        print(f"[{verdict}] {trace}")
+
+
+if __name__ == "__main__":
+    main()

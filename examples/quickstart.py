@@ -1,0 +1,69 @@
+"""Quickstart: find a path-sensitive null dereference with Fusion.
+
+Compiles the paper's Figure 1 program (extended with a guarded
+dereference), builds the program dependence graph, and runs the fused
+analyzer.  Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.checkers import NullDereferenceChecker
+from repro.fusion import FusionEngine, prepare_pdg
+from repro.lang import compile_source
+from repro.pdg import pdg_to_dot
+
+SOURCE = """
+# The paper's Figure 1, in the small language.
+fun bar(x) {
+  y = x * 2;
+  z = y;
+  return z;
+}
+
+fun foo(a, b) {
+  p = null;
+  c = bar(a);
+  d = bar(b);
+  if (c < d) {
+    deref(p);        # feasible: a and b are unconstrained
+  }
+  return 0;
+}
+
+fun safe(a) {
+  q = null;
+  if (a < a) {       # infeasible guard: never reported
+    deref(q);
+  }
+  return 0;
+}
+"""
+
+
+def main() -> None:
+    program = compile_source(SOURCE)
+    pdg = prepare_pdg(program)
+    print("Program dependence graph:", pdg.stats())
+
+    engine = FusionEngine(pdg)
+    result = engine.analyze(NullDereferenceChecker())
+
+    print(f"\n{result.summary()}\n")
+    for report in result.reports:
+        verdict = "BUG" if report.feasible else "infeasible (filtered)"
+        print(f"[{verdict}] null from {report.source!r}")
+        print(f"          reaches    {report.sink!r}")
+        steps = " -> ".join(step.vertex.var.name
+                            for step in report.candidate.path.steps)
+        print(f"          via        {steps}\n")
+
+    print("Solver statistics:", engine.solver.stats)
+    print("\nTip: render the PDG with graphviz:")
+    print("  python -c \"...pdg_to_dot(pdg)...\" | dot -Tsvg > pdg.svg")
+    # The dot text itself, for the curious:
+    dot = pdg_to_dot(pdg)
+    print(f"(dot output is {len(dot.splitlines())} lines)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Whole-program scan of a generated "project": all three checkers.
+
+Reproduces the paper's deployment story at example scale: one PDG built
+once, three checkers run over it, with per-checker resource accounting —
+the kind of continuous scan the authors run at fusion-scan.github.io.
+Run with::
+
+    python examples/whole_program_scan.py [seed]
+"""
+
+import sys
+
+from repro.bench import SubjectSpec, generate_subject, render_table
+from repro.checkers import (NullDereferenceChecker, cwe23_checker,
+                            cwe402_checker)
+from repro.fusion import FusionEngine, prepare_pdg
+
+
+def main() -> None:
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 42
+    spec = SubjectSpec("scan-demo", seed=seed, num_functions=36, layers=5,
+                       avg_stmts=10, call_fanout=2,
+                       null_bugs=(2, 1, 1), taint23_bugs=(1, 0, 1),
+                       taint402_bugs=(1, 1, 0))
+    subject = generate_subject(spec)
+    pdg = prepare_pdg(subject.program)
+    print(f"Scanning {subject.loc} LoC "
+          f"({pdg.num_vertices} PDG vertices)...\n")
+
+    rows = []
+    findings = []
+    for checker in (NullDereferenceChecker(), cwe23_checker(),
+                    cwe402_checker()):
+        engine = FusionEngine(pdg)
+        result = engine.analyze(checker)
+        rows.append((checker.name, result.candidates, len(result.bugs),
+                     result.smt_queries, result.decided_in_preprocess,
+                     f"{result.wall_time:.3f}"))
+        findings.extend(result.bugs)
+
+    print(render_table(
+        ["checker", "candidates", "findings", "SMT queries",
+         "preprocess-decided", "time s"],
+        rows, title="Whole-program scan summary"))
+
+    print("\nFindings:")
+    for report in findings:
+        print(f"  [{report.checker}] {report.source.function} -> "
+              f"{report.sink.function}: {report.sink.stmt!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Setuptools entry point.
+
+The legacy ``setup.py`` path is kept because the target environment is
+offline and lacks the ``wheel`` package that PEP 660 editable installs
+require; ``pip install -e .`` falls back to ``setup.py develop`` here.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=("Fusion: path-sensitive sparse analysis without path "
+                 "conditions (PLDI 2021 reproduction)"),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    entry_points={
+        "console_scripts": ["repro=repro.cli:main"],
+    },
+)

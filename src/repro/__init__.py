@@ -1,0 +1,8 @@
+"""Reproduction of "Path-Sensitive Sparse Analysis without Path Conditions"
+(Fusion, PLDI 2021).
+
+The top-level package re-exports the high-level entry points; see README.md
+for a quickstart and DESIGN.md for the full system inventory.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,10 @@
+"""Baseline engines: Pinpoint (+variants) and the Infer-style analyzer."""
+
+from repro.baselines.pinpoint import (PinpointConfig, PinpointEngine,
+                                      make_pinpoint)
+from repro.baselines.infer import InferConfig, InferEngine
+
+__all__ = [
+    "PinpointConfig", "PinpointEngine", "make_pinpoint",
+    "InferConfig", "InferEngine",
+]

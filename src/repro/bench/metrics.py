@@ -1,0 +1,58 @@
+"""Evaluation metrics: precision/recall against injected ground truth.
+
+A report matches a ground-truth bug when checker and source function
+agree (the generator injects at most one bug per wrapper function, so the
+key is unique).  Labels then classify each report:
+
+* matches a ``real`` bug                        -> true positive;
+* matches a non-``real`` bug (path-feasible or
+  not)                                          -> false positive;
+* matches nothing                               -> false positive
+  (an incidental flow the generator did not intend — rare by design).
+
+Recall counts the ``real`` bugs found.  This is what fills the
+#Report/#TP/#FP columns of the paper's Table 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.generator import GeneratedSubject
+from repro.checkers.base import AnalysisResult
+
+
+@dataclass
+class PrecisionRecall:
+    reports: int = 0
+    true_positives: int = 0
+    false_positives: int = 0
+    missed_real: int = 0
+
+    @property
+    def fp_rate(self) -> float:
+        if self.reports == 0:
+            return 0.0
+        return self.false_positives / self.reports
+
+
+def evaluate_reports(subject: GeneratedSubject,
+                     result: AnalysisResult) -> PrecisionRecall:
+    truth = {bug.key: bug for bug in subject.truth_for(result.checker)}
+    metrics = PrecisionRecall()
+    found_real: set[tuple[str, str]] = set()
+
+    for report in result.bugs:
+        metrics.reports += 1
+        key = (report.checker, report.source.function)
+        bug = truth.get(key)
+        if bug is not None and bug.real:
+            metrics.true_positives += 1
+            found_real.add(key)
+        else:
+            metrics.false_positives += 1
+
+    metrics.missed_real = sum(
+        1 for key, bug in truth.items()
+        if bug.real and key not in found_real)
+    return metrics

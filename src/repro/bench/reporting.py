@@ -1,0 +1,88 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+Each ``render_*`` function takes the rows the benchmark harness produced
+and prints the same columns/series the paper reports, so EXPERIMENTS.md
+can be written by diffing shapes against the original numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: Optional[str] = None) -> str:
+    rows = [tuple(str(c) for c in row) for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def speedup(base: float, other: float) -> str:
+    """'Nx' formatting used throughout the paper's tables."""
+    if other <= 0:
+        return "-"
+    ratio = base / other
+    if ratio >= 10:
+        return f"{ratio:.0f}x"
+    return f"{ratio:.1f}x"
+
+
+def fmt_failure(failure: Optional[str]) -> str:
+    if failure == "memory":
+        return "Memory Out"
+    if failure == "time":
+        return "Timeout"
+    return failure or ""
+
+
+def render_memory_breakdown(rows: Iterable[tuple[str, int, int]]) -> str:
+    """Figure 1(c): per-subject share of memory held by path conditions."""
+    lines = ["Figure 1(c): memory held by cached path conditions",
+             f"{'subject':<10} {'conditions':>12} {'other':>10} {'share':>7}"]
+    for name, condition, total in rows:
+        other = max(0, total - condition)
+        share = condition / total if total else 0.0
+        bar = "#" * int(share * 40)
+        lines.append(f"{name:<10} {condition:>12} {other:>10} "
+                     f"{share:>6.0%} {bar}")
+    return "\n".join(lines)
+
+
+def render_scatter_summary(pairs: Iterable[tuple[float, float, str]]) -> str:
+    """Figure 11: per-instance solving-time comparison, summarised.
+
+    ``pairs`` holds (graph-solver seconds, standalone seconds, status).
+    """
+    pairs = list(pairs)
+    lines = ["Figure 11: graph-based solver vs standalone solver"]
+    for status in ("sat", "unsat"):
+        subset = [(a, b) for a, b, s in pairs if s == status]
+        if not subset:
+            continue
+        wins = sum(1 for a, b in subset if a <= b)
+        total_a = sum(a for a, _ in subset)
+        total_b = sum(b for _, b in subset)
+        ratio = total_b / total_a if total_a else float("inf")
+        lines.append(
+            f"  {status}: {len(subset)} instances, "
+            f"{wins}/{len(subset)} under the diagonal, "
+            f"aggregate speedup {ratio:.1f}x")
+    total_a = sum(a for a, _, _ in pairs)
+    total_b = sum(b for _, b, _ in pairs)
+    if total_a:
+        lines.append(f"  overall aggregate speedup "
+                     f"{total_b / total_a:.1f}x over {len(pairs)} instances")
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""The evaluation subjects: Table 2 of the paper, scaled ~1/1000.
+
+Each entry pairs the paper's reported statistics (for the reference
+columns of the reproduced Table 2) with a generator spec whose size grows
+with the real subject's size, preserving the relative ordering of the 16
+subjects.  The four "industrial" subjects (ffmpeg, v8, mysql, wine) carry
+taint-bug injections as well, since Tables 4 and 5 only evaluate those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.bench.generator import (GeneratedSubject, SubjectSpec,
+                                   generate_subject)
+
+
+@dataclass(frozen=True)
+class PaperStats:
+    """The row the paper reports in Table 2 (for reference output)."""
+
+    kloc: int
+    functions: int
+    vertices: str
+    edges: str
+
+
+@dataclass(frozen=True)
+class Subject:
+    id: int
+    name: str
+    paper: PaperStats
+    spec: SubjectSpec
+
+    @property
+    def is_industrial(self) -> bool:
+        return self.id >= 13
+
+
+def _spec(name: str, seed: int, functions: int, layers: int, fanout: int,
+          stmts: int, null_bugs: tuple[int, int, int],
+          taint: bool = False) -> SubjectSpec:
+    taint_plan = (2, 1, 1) if taint else (0, 0, 0)
+    return SubjectSpec(
+        name=name, seed=seed, num_functions=functions, layers=layers,
+        avg_stmts=stmts, call_fanout=fanout, null_bugs=null_bugs,
+        taint23_bugs=taint_plan, taint402_bugs=taint_plan)
+
+
+#: The 16 subjects of Table 2.  SPEC CINT2000 (1-12) plus the four
+#: industrial projects (13-16).  Generator sizes grow with the paper's
+#: KLoC/function counts at roughly 1/1000 scale.
+SUBJECTS: tuple[Subject, ...] = (
+    Subject(1, "mcf", PaperStats(2, 26, "22.8K", "28.9K"),
+            _spec("mcf", 101, 6, 3, 1, 6, (1, 0, 1))),
+    Subject(2, "bzip2", PaperStats(3, 74, "93.8K", "120.4K"),
+            _spec("bzip2", 102, 8, 3, 2, 6, (1, 0, 1))),
+    Subject(3, "gzip", PaperStats(6, 89, "165.3K", "221.5K"),
+            _spec("gzip", 103, 9, 3, 2, 7, (1, 1, 1))),
+    Subject(4, "parser", PaperStats(8, 324, "824.2K", "1,114.1K"),
+            _spec("parser", 104, 12, 4, 2, 7, (2, 0, 1))),
+    Subject(5, "vpr", PaperStats(11, 272, "376.3K", "478.0K"),
+            _spec("vpr", 105, 12, 4, 2, 8, (2, 1, 1))),
+    Subject(6, "crafty", PaperStats(13, 108, "381.1K", "498.9K"),
+            _spec("crafty", 106, 14, 4, 2, 8, (1, 1, 1))),
+    Subject(7, "twolf", PaperStats(18, 191, "762.9K", "995.5K"),
+            _spec("twolf", 107, 16, 4, 2, 8, (2, 1, 1))),
+    Subject(8, "eon", PaperStats(22, 3400, "1.2M", "1.3M"),
+            _spec("eon", 108, 18, 4, 2, 9, (2, 1, 1))),
+    Subject(9, "gap", PaperStats(36, 843, "3.4M", "4.4M"),
+            _spec("gap", 109, 22, 4, 3, 9, (2, 1, 1))),
+    Subject(10, "vortex", PaperStats(49, 923, "3.3M", "4.2M"),
+            _spec("vortex", 110, 26, 5, 2, 9, (2, 1, 1))),
+    Subject(11, "perlbmk", PaperStats(73, 1100, "9.3M", "12.2M"),
+            _spec("perlbmk", 111, 30, 5, 2, 10, (3, 1, 1))),
+    Subject(12, "gcc", PaperStats(135, 2200, "14.2M", "18.4M"),
+            _spec("gcc", 112, 36, 5, 3, 10, (3, 1, 2))),
+    Subject(13, "ffmpeg", PaperStats(1001, 74200, "57.1M", "76.4M"),
+            _spec("ffmpeg", 113, 48, 5, 3, 11, (3, 2, 2), taint=True)),
+    Subject(14, "v8", PaperStats(1201, 260400, "63.0M", "73.5M"),
+            _spec("v8", 114, 54, 6, 2, 11, (4, 2, 2), taint=True)),
+    Subject(15, "mysql", PaperStats(2030, 79200, "68.8M", "85.0M"),
+            _spec("mysql", 115, 62, 6, 2, 11, (4, 2, 2), taint=True)),
+    Subject(16, "wine", PaperStats(4108, 133000, "90.2M", "112.3M"),
+            _spec("wine", 116, 72, 6, 2, 12, (4, 2, 2), taint=True)),
+)
+
+
+def subject_by_name(name: str) -> Subject:
+    for subject in SUBJECTS:
+        if subject.name == name:
+            return subject
+    raise KeyError(f"unknown subject {name!r}")
+
+
+def industrial_subjects() -> tuple[Subject, ...]:
+    return tuple(s for s in SUBJECTS if s.is_industrial)
+
+
+@lru_cache(maxsize=None)
+def materialize(name: str) -> GeneratedSubject:
+    """Generate (and cache) a subject's program."""
+    return generate_subject(subject_by_name(name).spec)

@@ -1,0 +1,13 @@
+"""Control-flow substrate: CFGs, dominance, control dependence."""
+
+from repro.cfg.graph import BasicBlock, ControlFlowGraph
+from repro.cfg.dominance import DominatorTree
+from repro.cfg.control_dep import (block_control_deps,
+                                   statement_control_deps,
+                                   structural_control_deps)
+
+__all__ = [
+    "BasicBlock", "ControlFlowGraph", "DominatorTree",
+    "block_control_deps", "statement_control_deps",
+    "structural_control_deps",
+]

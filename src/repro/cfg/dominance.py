@@ -1,0 +1,104 @@
+"""Dominator and post-dominator trees (Cooper–Harvey–Kennedy).
+
+The iterative "engineered" algorithm: process blocks in reverse postorder,
+intersecting predecessor dominators by walking up the current tree.  Runs
+in near-linear time on reducible CFGs, which is all the loop-free lowered
+IR ever produces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cfg.graph import BasicBlock, ControlFlowGraph
+
+
+class DominatorTree:
+    """Immediate-dominator map over a flow graph.
+
+    ``reverse=True`` computes *post*-dominators by flipping edge direction
+    and rooting at the CFG exit — the ingredient for control dependence.
+    """
+
+    def __init__(self, cfg: ControlFlowGraph, reverse: bool = False) -> None:
+        self.cfg = cfg
+        self.reverse = reverse
+        self.root = cfg.exit if reverse else cfg.entry
+        self.idom: dict[int, Optional[BasicBlock]] = {}
+        self._order_index: dict[int, int] = {}
+        self._compute()
+
+    def _succs(self, block: BasicBlock) -> list[BasicBlock]:
+        return block.preds if self.reverse else block.succs
+
+    def _preds(self, block: BasicBlock) -> list[BasicBlock]:
+        return block.succs if self.reverse else block.preds
+
+    def _reverse_postorder(self) -> list[BasicBlock]:
+        seen: set[int] = set()
+        order: list[BasicBlock] = []
+
+        def visit(block: BasicBlock) -> None:
+            seen.add(block.index)
+            for succ in self._succs(block):
+                if succ.index not in seen:
+                    visit(succ)
+            order.append(block)
+
+        visit(self.root)
+        order.reverse()
+        return order
+
+    def _compute(self) -> None:
+        order = self._reverse_postorder()
+        self._order_index = {b.index: i for i, b in enumerate(order)}
+        self.idom = {self.root.index: self.root}
+
+        changed = True
+        while changed:
+            changed = False
+            for block in order:
+                if block is self.root:
+                    continue
+                preds = [p for p in self._preds(block)
+                         if p.index in self.idom]
+                if not preds:
+                    continue
+                new_idom = preds[0]
+                for pred in preds[1:]:
+                    new_idom = self._intersect(pred, new_idom)
+                if self.idom.get(block.index) is not new_idom:
+                    self.idom[block.index] = new_idom
+                    changed = True
+
+    def _intersect(self, a: BasicBlock, b: BasicBlock) -> BasicBlock:
+        index = self._order_index
+        while a is not b:
+            while index[a.index] > index[b.index]:
+                a = self.idom[a.index]  # type: ignore[assignment]
+            while index[b.index] > index[a.index]:
+                b = self.idom[b.index]  # type: ignore[assignment]
+        return a
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def immediate_dominator(self, block: BasicBlock) -> Optional[BasicBlock]:
+        if block is self.root:
+            return None
+        return self.idom.get(block.index)
+
+    def dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """True iff ``a`` (post-)dominates ``b`` (reflexively)."""
+        node: Optional[BasicBlock] = b
+        while node is not None:
+            if node is a:
+                return True
+            if node is self.root:
+                return False
+            node = self.idom.get(node.index)
+        return False
+
+    def strictly_dominates(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return a is not b and self.dominates(a, b)

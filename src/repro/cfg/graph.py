@@ -1,0 +1,143 @@
+"""Control-flow graphs for small-language functions.
+
+The lowered IR is structured (branch bodies nest), so the CFG is built by
+a single recursive walk: a ``Branch`` statement terminates its block with a
+true-edge into the body and a false-edge to the join block.  The CFG
+exists to host the dominance/post-dominance machinery of
+``repro.cfg.dominance`` — the paper builds control dependence "in almost
+linear time [17]" (Cytron et al.), and the tests cross-check that
+construction against the structural nesting the lowering guarantees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.lang.ir import Branch, Function, Stmt
+
+
+@dataclass
+class BasicBlock:
+    index: int
+    stmts: list[Stmt] = field(default_factory=list)
+    succs: list["BasicBlock"] = field(default_factory=list)
+    preds: list["BasicBlock"] = field(default_factory=list)
+    #: For a block ending in a Branch: which successor is the true edge.
+    true_succ: Optional["BasicBlock"] = None
+
+    @property
+    def terminator(self) -> Optional[Stmt]:
+        return self.stmts[-1] if self.stmts else None
+
+    def __repr__(self) -> str:
+        return f"BB{self.index}({len(self.stmts)} stmts)"
+
+    def __hash__(self) -> int:
+        return self.index
+
+
+class ControlFlowGraph:
+    """The CFG of one function: unique entry, unique exit."""
+
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self.blocks: list[BasicBlock] = []
+        self.entry = self._new_block()
+        exit_block = self._build(function.body, self.entry)
+        self.exit = exit_block
+        self._prune_empty_blocks()
+        self.block_of: dict[int, BasicBlock] = {}
+        for block in self.blocks:
+            for stmt in block.stmts:
+                self.block_of[id(stmt)] = block
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+
+    def _new_block(self) -> BasicBlock:
+        block = BasicBlock(len(self.blocks))
+        self.blocks.append(block)
+        return block
+
+    @staticmethod
+    def _link(src: BasicBlock, dst: BasicBlock,
+              is_true_edge: bool = False) -> None:
+        src.succs.append(dst)
+        dst.preds.append(src)
+        if is_true_edge:
+            src.true_succ = dst
+
+    def _build(self, stmts: list[Stmt], current: BasicBlock) -> BasicBlock:
+        for stmt in stmts:
+            if isinstance(stmt, Branch):
+                current.stmts.append(stmt)
+                body_entry = self._new_block()
+                self._link(current, body_entry, is_true_edge=True)
+                body_exit = self._build(stmt.body, body_entry)
+                join = self._new_block()
+                self._link(current, join)
+                self._link(body_exit, join)
+                current = join
+            else:
+                current.stmts.append(stmt)
+        return current
+
+    def _prune_empty_blocks(self) -> None:
+        """Splice out empty blocks (e.g. joins after trailing branches)."""
+        changed = True
+        while changed:
+            changed = False
+            for block in self.blocks:
+                if block.stmts or block is self.entry or block is self.exit:
+                    continue
+                if len(block.succs) != 1:
+                    continue
+                successor = block.succs[0]
+                successor.preds.remove(block)
+                for pred in block.preds:
+                    pred.succs[pred.succs.index(block)] = successor
+                    if pred.true_succ is block:
+                        pred.true_succ = successor
+                    successor.preds.append(pred)
+                self.blocks.remove(block)
+                changed = True
+                break
+        for i, block in enumerate(self.blocks):
+            block.index = i
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def statements(self) -> Iterator[Stmt]:
+        for block in self.blocks:
+            yield from block.stmts
+
+    def reverse_postorder(self) -> list[BasicBlock]:
+        seen: set[int] = set()
+        order: list[BasicBlock] = []
+
+        def visit(block: BasicBlock) -> None:
+            seen.add(block.index)
+            for succ in block.succs:
+                if succ.index not in seen:
+                    visit(succ)
+            order.append(block)
+
+        visit(self.entry)
+        order.reverse()
+        return order
+
+    def to_dot(self) -> str:
+        lines = ["digraph cfg {"]
+        for block in self.blocks:
+            label = "\\n".join(repr(s) for s in block.stmts) or "(empty)"
+            lines.append(f'  bb{block.index} [shape=box,label="{label}"];')
+        for block in self.blocks:
+            for succ in block.succs:
+                style = ' [label="T"]' if succ is block.true_succ else ""
+                lines.append(f"  bb{block.index} -> bb{succ.index}{style};")
+        lines.append("}")
+        return "\n".join(lines)

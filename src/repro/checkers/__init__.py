@@ -1,0 +1,16 @@
+"""Bug checkers: null exceptions and taint (CWE-23, CWE-402)."""
+
+from repro.checkers.base import (AnalysisResult, BugCandidate, BugReport,
+                                 Checker)
+from repro.checkers.format import (format_report, format_results,
+                                   format_trace)
+from repro.checkers.nullderef import DEREF_SINKS, NullDereferenceChecker
+from repro.checkers.taint import (TaintChecker, cwe23_checker,
+                                  cwe402_checker)
+
+__all__ = [
+    "AnalysisResult", "BugCandidate", "BugReport", "Checker",
+    "format_report", "format_results", "format_trace",
+    "DEREF_SINKS", "NullDereferenceChecker",
+    "TaintChecker", "cwe23_checker", "cwe402_checker",
+]

@@ -1,0 +1,123 @@
+"""Checker protocol and bug reporting types.
+
+A checker configures the sparse analysis: which statements create the
+tracked data-flow fact (*sources*), across which data-dependence edges the
+fact survives (*transfer*), and which edges complete a bug pattern
+(*sinks*).  This is the paper's point (3) in Section 3.3: with the fused
+design, a checker author only writes the abstract domain and transfer
+functions and never touches path conditions.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional
+
+from typing import TYPE_CHECKING
+
+from repro.pdg.graph import DataEdge, ProgramDependenceGraph, Vertex
+
+if TYPE_CHECKING:  # avoid a package-level import cycle with repro.sparse
+    from repro.sparse.paths import DependencePath
+
+
+class Checker(abc.ABC):
+    """Defines one data-flow bug pattern over the PDG."""
+
+    #: Short identifier used in reports ("null-deref", "cwe-23", ...).
+    name: str = "checker"
+
+    @abc.abstractmethod
+    def sources(self, pdg: ProgramDependenceGraph) -> list[Vertex]:
+        """Statements that generate the tracked fact."""
+
+    @abc.abstractmethod
+    def propagates(self, edge: DataEdge) -> bool:
+        """Whether the fact survives flowing across ``edge``."""
+
+    @abc.abstractmethod
+    def is_sink_edge(self, edge: DataEdge) -> bool:
+        """Whether reaching ``edge.dst`` via ``edge`` completes the bug."""
+
+
+@dataclass
+class BugCandidate:
+    """A source-to-sink dependence path awaiting a feasibility verdict."""
+
+    checker: str
+    path: DependencePath
+
+    @property
+    def source(self) -> Vertex:
+        return self.path.source.vertex
+
+    @property
+    def sink(self) -> Vertex:
+        return self.path.sink.vertex
+
+    def key(self) -> tuple:
+        """Dedup key: one report per (source stmt, sink stmt) pair."""
+        return (self.checker, self.source.index, self.sink.index)
+
+    def __repr__(self) -> str:
+        return (f"candidate[{self.checker}: {self.source!r} ~> "
+                f"{self.sink!r}]")
+
+
+@dataclass
+class BugReport:
+    """A candidate the analysis decided to report."""
+
+    candidate: BugCandidate
+    feasible: bool
+    decided_in_preprocess: bool = False
+    solve_time: float = 0.0
+    #: A concrete satisfying assignment for the path condition
+    #: (variable name -> value), when the engine was asked to extract one.
+    witness: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def checker(self) -> str:
+        return self.candidate.checker
+
+    @property
+    def source(self) -> Vertex:
+        return self.candidate.source
+
+    @property
+    def sink(self) -> Vertex:
+        return self.candidate.sink
+
+    def __repr__(self) -> str:
+        tag = "BUG" if self.feasible else "infeasible"
+        return f"[{tag}] {self.candidate!r}"
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one engine run produces, plus its resource footprint."""
+
+    engine: str
+    checker: str
+    reports: list[BugReport] = field(default_factory=list)
+    candidates: int = 0
+    smt_queries: int = 0
+    decided_in_preprocess: int = 0
+    wall_time: float = 0.0
+    #: Deterministic memory model: live term-DAG nodes, cached summary
+    #: nodes, and graph size (see repro.limits.Budget for rationale).
+    memory_units: int = 0
+    condition_memory_units: int = 0  # the Figure 1(c) numerator
+    failure: Optional[str] = None    # "memory"/"time" when budget exceeded
+
+    @property
+    def bugs(self) -> list[BugReport]:
+        return [r for r in self.reports if r.feasible]
+
+    def summary(self) -> str:
+        status = self.failure if self.failure else "ok"
+        return (f"{self.engine}/{self.checker}: {len(self.bugs)} bugs / "
+                f"{self.candidates} candidates, {self.smt_queries} queries, "
+                f"{self.wall_time:.2f}s, {self.memory_units} mem units "
+                f"[{status}]")

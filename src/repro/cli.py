@@ -1,0 +1,193 @@
+"""Command-line interface.
+
+::
+
+    python -m repro scan prog.fl --checker null-deref --engine fusion
+    python -m repro subjects
+    python -m repro bench --subject mcf --engine pinpoint
+
+``scan`` is the user-facing entry point an open-source release would ship:
+compile a small-language file, build the PDG once, and run one or more
+checkers with the selected engine, optionally emitting concrete witnesses,
+JSON, or a graphviz dump of the dependence graph.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional, Sequence
+
+from repro.baselines import InferEngine
+from repro.baselines.pinpoint import make_pinpoint
+from repro.checkers import NullDereferenceChecker
+from repro.checkers.taint import cwe23_checker, cwe402_checker
+from repro.fusion import (FusionConfig, FusionEngine, GraphSolverConfig,
+                          prepare_pdg)
+from repro.lang import LoweringConfig, compile_source
+from repro.pdg import pdg_to_dot
+
+CHECKER_FACTORIES = {
+    "null-deref": NullDereferenceChecker,
+    "cwe-23": cwe23_checker,
+    "cwe-402": cwe402_checker,
+}
+
+ENGINE_CHOICES = ("fusion", "fusion-unopt", "pinpoint", "pinpoint+lfs",
+                  "pinpoint+hfs", "pinpoint+qe", "pinpoint+ar", "infer")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fusion: path-sensitive sparse analysis (PLDI'21 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    scan = sub.add_parser("scan", help="analyse a small-language file")
+    scan.add_argument("file", help="source file ('-' for stdin)")
+    scan.add_argument("--checker", action="append",
+                      choices=sorted(CHECKER_FACTORIES),
+                      help="checker to run (repeatable; default: all)")
+    scan.add_argument("--engine", default="fusion", choices=ENGINE_CHOICES)
+    scan.add_argument("--witness", action="store_true",
+                      help="extract a concrete model per finding")
+    scan.add_argument("--json", action="store_true", dest="as_json",
+                      help="machine-readable output")
+    scan.add_argument("--dot", metavar="FILE",
+                      help="write the PDG in graphviz format")
+    scan.add_argument("--unroll", type=int, default=2,
+                      help="loop unrolling bound (default 2)")
+    scan.add_argument("--width", type=int, default=8,
+                      help="bit width of integers (default 8)")
+    scan.add_argument("--show-infeasible", action="store_true",
+                      help="also list candidates filtered as infeasible")
+    scan.add_argument("--verbose", action="store_true",
+                      help="full report: traces, guards, witnesses")
+
+    sub.add_parser("subjects", help="list the benchmark subject registry")
+
+    bench = sub.add_parser("bench", help="run one benchmark cell")
+    bench.add_argument("--subject", required=True)
+    bench.add_argument("--engine", default="fusion", choices=ENGINE_CHOICES)
+    bench.add_argument("--checker", default="null-deref",
+                       choices=sorted(CHECKER_FACTORIES))
+    bench.add_argument("--time-budget", type=float, default=120.0)
+
+    return parser
+
+
+def _make_engine(name: str, pdg, want_model: bool):
+    if name == "fusion":
+        return FusionEngine(pdg, FusionConfig(
+            solver=GraphSolverConfig(want_model=want_model)))
+    if name == "fusion-unopt":
+        return FusionEngine(pdg, FusionConfig(
+            solver=GraphSolverConfig(optimized=False,
+                                     want_model=want_model)))
+    if name == "infer":
+        return InferEngine(pdg)
+    variant = name.partition("+")[2]
+    return make_pinpoint(pdg, variant)
+
+
+def cmd_scan(args: argparse.Namespace) -> int:
+    if args.file == "-":
+        source = sys.stdin.read()
+    else:
+        with open(args.file) as handle:
+            source = handle.read()
+    program = compile_source(source, LoweringConfig(
+        loop_unroll=args.unroll, width=args.width))
+    pdg = prepare_pdg(program)
+
+    if args.dot:
+        with open(args.dot, "w") as handle:
+            handle.write(pdg_to_dot(pdg))
+
+    checker_names = args.checker or sorted(CHECKER_FACTORIES)
+    findings = []
+    exit_code = 0
+    verbose_sections = []
+    for checker_name in checker_names:
+        engine = _make_engine(args.engine, pdg,
+                              args.witness or args.verbose)
+        result = engine.analyze(CHECKER_FACTORIES[checker_name]())
+        if args.verbose:
+            from repro.checkers.format import format_results
+
+            verbose_sections.append(format_results(
+                pdg, result, include_infeasible=args.show_infeasible))
+        for report in result.reports:
+            if not report.feasible and not args.show_infeasible:
+                continue
+            entry = {
+                "checker": checker_name,
+                "feasible": report.feasible,
+                "source_function": report.source.function,
+                "source": repr(report.source.stmt),
+                "sink_function": report.sink.function,
+                "sink": repr(report.sink.stmt),
+                "path": [step.vertex.var.name
+                         for step in report.candidate.path.steps],
+            }
+            if args.witness and report.witness:
+                entry["witness"] = {
+                    k: v for k, v in sorted(report.witness.items())
+                    if not k.startswith("!")}
+            findings.append(entry)
+            if report.feasible:
+                exit_code = 1
+
+    if args.as_json:
+        print(json.dumps({"engine": args.engine, "findings": findings},
+                         indent=2))
+    elif args.verbose:
+        print("\n\n".join(verbose_sections))
+    else:
+        if not findings:
+            print("no findings")
+        for entry in findings:
+            tag = "BUG" if entry["feasible"] else "infeasible"
+            print(f"[{tag}] {entry['checker']}: "
+                  f"{entry['source_function']}: {entry['source']}")
+            print(f"      -> {entry['sink_function']}: {entry['sink']}")
+            if "witness" in entry:
+                pairs = ", ".join(f"{k}={v}"
+                                  for k, v in entry["witness"].items())
+                print(f"      witness: {pairs}")
+    return exit_code
+
+
+def cmd_subjects(_args: argparse.Namespace) -> int:
+    from repro.bench import SUBJECTS, render_table
+
+    print(render_table(
+        ["ID", "name", "paper KLoC", "paper #fn", "gen functions",
+         "layers", "fanout"],
+        [(s.id, s.name, s.paper.kloc, s.paper.functions,
+          s.spec.num_functions, s.spec.layers, s.spec.call_fanout)
+         for s in SUBJECTS],
+        title="Benchmark subjects (Table 2 registry)"))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import run_engine
+
+    outcome = run_engine(args.subject, args.engine, args.checker,
+                         time_budget=args.time_budget)
+    print(json.dumps(outcome.row(), indent=2))
+    return 0 if outcome.failed is None else 2
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"scan": cmd_scan, "subjects": cmd_subjects,
+                "bench": cmd_bench}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

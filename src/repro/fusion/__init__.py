@@ -1,0 +1,22 @@
+"""Fusion: the fused sparse-analysis + SMT-solving design (the paper's
+core contribution)."""
+
+from repro.fusion.transform import (CallBinding, ConditionTransformer,
+                                    LocalTemplate)
+from repro.fusion.instantiate import (FramePlan, assemble_condition,
+                                      build_frame_plan,
+                                      frame_boundary_constraints,
+                                      frame_suffix)
+from repro.fusion.quickpath import QuickPathTable, Shape, ValueSummary
+from repro.fusion.graph_solver import (GraphSolverConfig, GraphSolverStats,
+                                       IrBasedSmtSolver)
+from repro.fusion.engine import FusionConfig, FusionEngine, prepare_pdg
+
+__all__ = [
+    "CallBinding", "ConditionTransformer", "LocalTemplate",
+    "FramePlan", "assemble_condition", "build_frame_plan",
+    "frame_boundary_constraints", "frame_suffix",
+    "QuickPathTable", "Shape", "ValueSummary",
+    "GraphSolverConfig", "GraphSolverStats", "IrBasedSmtSolver",
+    "FusionConfig", "FusionEngine", "prepare_pdg",
+]

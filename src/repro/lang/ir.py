@@ -1,0 +1,306 @@
+"""The normalized small-language IR (Figure 4 of the paper).
+
+A program is a set of functions; a function body is a sequence of
+statements, each defining exactly one SSA variable:
+
+* ``Identity``   — ``v = <v>``: parameter initialisation (a tautology).
+* ``Assign``     — ``v1 = v2``.
+* ``Binary``     — ``v1 = v2 (+) v3``.
+* ``IfThenElse`` — ``v1 = ite(v2, v3, v4)``: the gated replacement for
+  SSA φ-assignments (Section 3.1).
+* ``Call``       — ``v1 = f(v2, v3, ...)``.
+* ``Return``     — ``return v1 = v2``: a function's single exit.
+* ``Branch``     — ``if (v1 = v2) { S1; }``: statements in the body are
+  control-dependent on the branch.
+
+Operands are SSA variables or literal constants; the front end guarantees
+every variable is defined exactly once per function (SSA) and that each
+function ends in exactly one ``Return``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Union
+
+
+class VarType(enum.Enum):
+    """Variable types: machine integers (bit vectors) or booleans."""
+    INT = "int"
+    BOOL = "bool"
+
+
+class BinOp(enum.Enum):
+    """The operator set (+) of Figure 4."""
+
+    ADD = "+"
+    SUB = "-"
+    MUL = "*"
+    DIV = "/"
+    REM = "%"
+    SHL = "<<"
+    SHR = ">>"
+    BAND = "&"
+    BOR = "|"
+    BXOR = "^"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    EQ = "=="
+    NE = "!="
+    AND = "&&"
+    OR = "||"
+
+    @property
+    def is_comparison(self) -> bool:
+        return self in (BinOp.LT, BinOp.LE, BinOp.GT, BinOp.GE,
+                        BinOp.EQ, BinOp.NE)
+
+    @property
+    def is_logical(self) -> bool:
+        return self in (BinOp.AND, BinOp.OR)
+
+    def result_type(self) -> VarType:
+        if self.is_comparison or self.is_logical:
+            return VarType.BOOL
+        return VarType.INT
+
+
+@dataclass(frozen=True)
+class Var:
+    """An SSA variable operand."""
+
+    name: str
+    type: VarType = VarType.INT
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """A literal operand.  ``is_null`` marks the ``null`` pointer literal,
+    which the null-exception checker treats as a data-flow source."""
+
+    value: int
+    type: VarType = VarType.INT
+    is_null: bool = False
+
+    def __repr__(self) -> str:
+        if self.is_null:
+            return "null"
+        if self.type is VarType.BOOL:
+            return "true" if self.value else "false"
+        return str(self.value)
+
+
+Operand = Union[Var, Const]
+
+
+class Stmt:
+    """Base class for IR statements.  Every statement defines ``result``."""
+
+    result: Var
+
+    def operands(self) -> tuple[Operand, ...]:
+        raise NotImplementedError
+
+    def used_vars(self) -> tuple[Var, ...]:
+        return tuple(op for op in self.operands() if isinstance(op, Var))
+
+
+@dataclass
+class Identity(Stmt):
+    """``v = <v>``: parameter initialisation."""
+
+    result: Var
+
+    def operands(self) -> tuple[Operand, ...]:
+        return ()
+
+    def __repr__(self) -> str:
+        return f"{self.result} = <{self.result}>"
+
+
+@dataclass
+class Assign(Stmt):
+    """``v1 = v2``."""
+
+    result: Var
+    source: Operand
+
+    def operands(self) -> tuple[Operand, ...]:
+        return (self.source,)
+
+    def __repr__(self) -> str:
+        return f"{self.result} = {self.source!r}"
+
+
+@dataclass
+class Binary(Stmt):
+    """``v1 = v2 (+) v3``."""
+
+    result: Var
+    op: BinOp
+    lhs: Operand
+    rhs: Operand
+
+    def operands(self) -> tuple[Operand, ...]:
+        return (self.lhs, self.rhs)
+
+    def __repr__(self) -> str:
+        return f"{self.result} = {self.lhs!r} {self.op.value} {self.rhs!r}"
+
+
+@dataclass
+class IfThenElse(Stmt):
+    """``v1 = ite(v2, v3, v4)``: gated SSA merge."""
+
+    result: Var
+    cond: Operand
+    then_value: Operand
+    else_value: Operand
+
+    def operands(self) -> tuple[Operand, ...]:
+        return (self.cond, self.then_value, self.else_value)
+
+    def __repr__(self) -> str:
+        return (f"{self.result} = ite({self.cond!r}, "
+                f"{self.then_value!r}, {self.else_value!r})")
+
+
+@dataclass
+class Call(Stmt):
+    """``v1 = f(v2, v3, ...)``."""
+
+    result: Var
+    callee: str
+    args: tuple[Operand, ...]
+
+    def operands(self) -> tuple[Operand, ...]:
+        return self.args
+
+    def __repr__(self) -> str:
+        args = ", ".join(repr(a) for a in self.args)
+        return f"{self.result} = {self.callee}({args})"
+
+
+@dataclass
+class Return(Stmt):
+    """``return v1 = v2``: the single exit of a function."""
+
+    result: Var
+    source: Operand
+
+    def operands(self) -> tuple[Operand, ...]:
+        return (self.source,)
+
+    def __repr__(self) -> str:
+        return f"return {self.result} = {self.source!r}"
+
+
+@dataclass
+class Branch(Stmt):
+    """``if (v1 = v2) { S1; }``: the branch condition defines ``v1``."""
+
+    result: Var
+    cond: Operand
+    body: list[Stmt] = field(default_factory=list)
+
+    def operands(self) -> tuple[Operand, ...]:
+        return (self.cond,)
+
+    def __repr__(self) -> str:
+        return f"if ({self.result} = {self.cond!r}) {{ ... }}"
+
+
+@dataclass
+class Function:
+    """A function in the small language.
+
+    ``params`` are initialised by leading :class:`Identity` statements in
+    ``body``; the final top-level statement is the single :class:`Return`
+    (entry procedures analysed for bugs always have one).
+    """
+
+    name: str
+    params: tuple[Var, ...]
+    body: list[Stmt] = field(default_factory=list)
+
+    def statements(self) -> Iterator[Stmt]:
+        """All statements, nested branch bodies included, in program order."""
+
+        def walk(stmts: Sequence[Stmt]) -> Iterator[Stmt]:
+            for stmt in stmts:
+                yield stmt
+                if isinstance(stmt, Branch):
+                    yield from walk(stmt.body)
+
+        return walk(self.body)
+
+    @property
+    def return_stmt(self) -> Optional[Return]:
+        for stmt in self.statements():
+            if isinstance(stmt, Return):
+                return stmt
+        return None
+
+    def size(self) -> int:
+        """Statement count (the paper's n/m in Table 1)."""
+        return sum(1 for _ in self.statements())
+
+    def defined_vars(self) -> dict[str, Stmt]:
+        return {stmt.result.name: stmt for stmt in self.statements()}
+
+
+@dataclass
+class Program:
+    """A whole program: defined functions plus external declarations.
+
+    ``externs`` model the paper's "empty functions" (third-party library
+    routines): a call to one simply links actuals to the return-value
+    receiver (Figure 5, last rule).  ``width`` is the bit width used when
+    translating integer variables to bit vectors.
+    """
+
+    functions: dict[str, Function] = field(default_factory=dict)
+    externs: set[str] = field(default_factory=set)
+    width: int = 8
+
+    def add(self, function: Function) -> None:
+        if function.name in self.functions:
+            raise ValueError(f"duplicate function {function.name}")
+        self.functions[function.name] = function
+
+    def function(self, name: str) -> Function:
+        return self.functions[name]
+
+    def is_extern(self, name: str) -> bool:
+        return name not in self.functions
+
+    def size(self) -> int:
+        return sum(f.size() for f in self.functions.values())
+
+    def validate(self) -> None:
+        """Check SSA form and operand definedness; raise on violations."""
+        for function in self.functions.values():
+            defined: set[str] = set()
+            for stmt in function.statements():
+                if stmt.result.name in defined:
+                    raise ValueError(
+                        f"{function.name}: variable {stmt.result.name} "
+                        f"defined twice (SSA violation)")
+                defined.add(stmt.result.name)
+            for stmt in function.statements():
+                for var in stmt.used_vars():
+                    if var.name not in defined:
+                        raise ValueError(
+                            f"{function.name}: use of undefined variable "
+                            f"{var.name} in {stmt!r}")
+            returns = [s for s in function.statements()
+                       if isinstance(s, Return)]
+            if len(returns) > 1:
+                raise ValueError(
+                    f"{function.name}: multiple return statements")

@@ -1,0 +1,123 @@
+"""Lexer for the surface small language."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.lang.ast_nodes import SourceLoc
+
+
+class LexError(Exception):
+    def __init__(self, message: str, loc: SourceLoc) -> None:
+        super().__init__(f"{loc}: {message}")
+        self.loc = loc
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    INT = "int"
+    KEYWORD = "keyword"
+    OP = "op"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    COMMA = ","
+    SEMI = ";"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset({"fun", "extern", "if", "else", "while", "return",
+                      "null", "true", "false"})
+
+#: Multi-character operators, longest first so maximal munch works.
+OPERATORS = ("<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+             "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    loc: SourceLoc
+
+    def __repr__(self) -> str:
+        return f"{self.kind.name}({self.text!r})@{self.loc}"
+
+
+_PUNCT = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    ",": TokenKind.COMMA,
+    ";": TokenKind.SEMI,
+}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize ``source``; raises :class:`LexError` on illegal input."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        loc = SourceLoc(line, col)
+
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "#" or source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+
+        if ch.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            yield Token(TokenKind.INT, source[i:j], loc)
+            col += j - i
+            i = j
+            continue
+
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            yield Token(kind, text, loc)
+            col += j - i
+            i = j
+            continue
+
+        if ch in _PUNCT:
+            yield Token(_PUNCT[ch], ch, loc)
+            i += 1
+            col += 1
+            continue
+
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                yield Token(TokenKind.OP, op, loc)
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", loc)
+
+    yield Token(TokenKind.EOF, "", SourceLoc(line, col))

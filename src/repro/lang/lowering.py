@@ -1,0 +1,391 @@
+"""Lowering: surface AST -> normalized gated-SSA IR (Figure 4 language).
+
+The pipeline applies, in one pass over the structured AST:
+
+* **Bounded loop unrolling** — ``while`` loops become ``k`` nested ``if``
+  statements ("we often unroll loops for a fixed number of times in
+  practice", Section 3.1).  Iterations beyond the bound are dropped, the
+  usual bounded-model-checking soundiness trade-off.
+* **Expression flattening** — expression trees become three-address
+  ``Binary``/``Call``/``Assign`` statements over fresh SSA temporaries.
+* **Gated SSA construction** — every variable assigned under an ``if`` is
+  merged at the join with an explicit ``v = ite(c, v_then, v_else)``
+  statement, the paper's replacement for φ-assignments.  ``else`` bodies
+  are desugared into a second branch guarded by the negated condition, so
+  control dependence follows Definition 3.1 verbatim (a statement is
+  control-dependent on the branch whose condition must be *true*).
+* **Early-return predication** — internal ``%retflag``/``%retval``
+  variables thread the "already returned" state through the gated-SSA
+  machinery; statements following a possibly-returning ``if`` are wrapped
+  in an ``if (!%retflag)`` guard so calls after an early return stay
+  properly control-dependent.  Each function ends in the single ``Return``
+  the paper's language requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.lang import ast_nodes as ast
+from repro.lang.ir import (Assign, Binary, BinOp, Branch, Call, Const,
+                           Function, IfThenElse, Identity, Operand, Program,
+                           Return, Stmt, Var, VarType)
+
+RETFLAG = "%retflag"
+RETVAL = "%retval"
+
+
+class LoweringError(Exception):
+    """A type or scoping error found while lowering the surface AST."""
+    def __init__(self, message: str, loc: ast.SourceLoc) -> None:
+        super().__init__(f"{loc}: {message}")
+        self.loc = loc
+
+
+@dataclass
+class LoweringConfig:
+    """Front-end knobs.
+
+    ``loop_unroll`` is the fixed unrolling bound; ``width`` the bit width
+    of integer variables (kept small by default so pure-Python
+    bit-blasting stays tractable — the paper uses the native 32).
+    """
+
+    loop_unroll: int = 2
+    width: int = 8
+
+
+def lower_module(module: ast.Module,
+                 config: Optional[LoweringConfig] = None) -> Program:
+    """Lower a parsed module to a validated IR :class:`Program`."""
+    config = config if config is not None else LoweringConfig()
+    return_types = _infer_return_types(module)
+    program = Program(width=config.width)
+    program.externs.update(decl.name for decl in module.externs)
+
+    defined = {f.name for f in module.functions}
+    for decl in module.functions:
+        lowering = _FunctionLowering(decl, config, return_types, defined,
+                                     program.externs)
+        program.add(lowering.run())
+    program.validate()
+    return program
+
+
+def _infer_return_types(module: ast.Module) -> dict[str, VarType]:
+    """Fixpoint inference of each function's return type (INT default)."""
+    types: dict[str, VarType] = {f.name: VarType.INT
+                                 for f in module.functions}
+
+    def expr_type(expr: ast.Expr) -> VarType:
+        if isinstance(expr, (ast.IntLit, ast.NullLit)):
+            return VarType.INT
+        if isinstance(expr, ast.BoolLit):
+            return VarType.BOOL
+        if isinstance(expr, ast.Name):
+            return VarType.INT  # approximation; the lowering re-checks
+        if isinstance(expr, ast.UnaryExpr):
+            return VarType.BOOL if expr.op == "!" else VarType.INT
+        if isinstance(expr, ast.BinExpr):
+            return expr.op.result_type()
+        if isinstance(expr, ast.CallExpr):
+            return types.get(expr.callee, VarType.INT)
+        return VarType.INT
+
+    def returns(stmts: list[ast.Statement]):
+        for stmt in stmts:
+            if isinstance(stmt, ast.ReturnStmt) and stmt.value is not None:
+                yield stmt.value
+            elif isinstance(stmt, ast.IfStmt):
+                yield from returns(stmt.then_body)
+                yield from returns(stmt.else_body)
+            elif isinstance(stmt, ast.WhileStmt):
+                yield from returns(stmt.body)
+
+    for _ in range(len(module.functions) + 1):
+        changed = False
+        for decl in module.functions:
+            inferred = VarType.INT
+            for value in returns(decl.body):
+                if expr_type(value) is VarType.BOOL:
+                    inferred = VarType.BOOL
+                    break
+            if types[decl.name] is not inferred:
+                types[decl.name] = inferred
+                changed = True
+        if not changed:
+            break
+    return types
+
+
+class _FunctionLowering:
+    def __init__(self, decl: ast.FunctionDecl, config: LoweringConfig,
+                 return_types: dict[str, VarType], defined: set[str],
+                 externs: set[str]) -> None:
+        self.decl = decl
+        self.config = config
+        self.return_types = return_types
+        self.defined = defined
+        self.externs = externs
+        self._versions: dict[str, int] = {}
+        self._env: dict[str, Operand] = {}
+        self._out: list[Stmt] = []
+
+    # ------------------------------------------------------------------ #
+    # Naming
+    # ------------------------------------------------------------------ #
+
+    def _fresh(self, base: str, vtype: VarType) -> Var:
+        n = self._versions.get(base, 0)
+        self._versions[base] = n + 1
+        name = base if n == 0 else f"{base}.{n}"
+        return Var(name, vtype)
+
+    # ------------------------------------------------------------------ #
+    # Entry
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> Function:
+        params = tuple(Var(p, VarType.INT) for p in self.decl.params)
+        for param in params:
+            self._versions[param.name] = 1
+            self._env[param.name] = param
+            self._out.append(Identity(param))
+        self._env[RETFLAG] = Const(0, VarType.BOOL)
+        self._env[RETVAL] = Const(0, VarType.INT)
+
+        self._lower_block(self.decl.body, self._out)
+
+        retval = self._env[RETVAL]
+        ret_var = self._fresh("%ret", _op_type(retval))
+        self._out.append(Return(ret_var, retval))
+        return Function(self.decl.name, params, self._out)
+
+    # ------------------------------------------------------------------ #
+    # Statements
+    # ------------------------------------------------------------------ #
+
+    def _lower_block(self, stmts: list[ast.Statement],
+                     out: list[Stmt]) -> None:
+        for i, stmt in enumerate(stmts):
+            if isinstance(stmt, ast.ReturnStmt):
+                self._lower_return(stmt, out)
+                return  # following statements are dead
+            if isinstance(stmt, ast.WhileStmt):
+                unrolled = self._unroll(stmt, self.config.loop_unroll)
+                if unrolled is not None:
+                    stmt = unrolled
+                else:
+                    continue
+            if isinstance(stmt, ast.IfStmt):
+                flag_before = self._env[RETFLAG]
+                self._lower_if(stmt, out)
+                flag_after = self._env[RETFLAG]
+                rest = stmts[i + 1:]
+                if rest and flag_after is not flag_before:
+                    if _is_static_true(flag_after):
+                        return  # every path has returned
+                    # Guard the remainder: it only runs if no branch
+                    # returned.  Reuses the if-lowering machinery so all
+                    # assignments in the remainder merge correctly.
+                    guard = ast.UnaryExpr("!", ast.Name(RETFLAG, stmt.loc),
+                                          stmt.loc)
+                    self._lower_if(ast.IfStmt(guard, rest, [], stmt.loc), out)
+                    return
+                continue
+            if isinstance(stmt, ast.AssignStmt):
+                self._lower_assign(stmt, out)
+            elif isinstance(stmt, ast.ExprStmt):
+                self._flatten(stmt.expr, out)
+            else:
+                raise LoweringError(
+                    f"unsupported statement {type(stmt).__name__}", stmt.loc)
+
+    def _unroll(self, stmt: ast.WhileStmt,
+                depth: int) -> Optional[ast.IfStmt]:
+        """``while (c) S`` -> ``if (c) { S; if (c) { S; ... } }``."""
+        if depth <= 0:
+            return None
+        inner = self._unroll(stmt, depth - 1)
+        body = list(stmt.body) + ([inner] if inner is not None else [])
+        return ast.IfStmt(stmt.cond, body, [], stmt.loc)
+
+    def _lower_assign(self, stmt: ast.AssignStmt, out: list[Stmt]) -> None:
+        if stmt.target.startswith("%"):
+            raise LoweringError("identifiers may not start with '%'",
+                                stmt.loc)
+        operand = self._flatten(stmt.value, out, name_hint=stmt.target)
+        if isinstance(operand, Var) and operand.name.startswith(stmt.target) \
+                and out and out[-1].result == operand:
+            # The flattener already named the defining statement after the
+            # target; no extra copy needed.
+            self._env[stmt.target] = operand
+            return
+        target = self._fresh(stmt.target, _op_type(operand))
+        out.append(Assign(target, operand))
+        self._env[stmt.target] = target
+
+    def _lower_return(self, stmt: ast.ReturnStmt, out: list[Stmt]) -> None:
+        value = self._flatten(stmt.value, out) if stmt.value is not None \
+            else Const(0, VarType.INT)
+        flag = self._env[RETFLAG]
+        if _is_static_true(flag):
+            return  # unreachable return
+        if _is_static_false(flag):
+            target = self._fresh("%rv", _op_type(value))
+            out.append(Assign(target, value))
+            self._env[RETVAL] = target
+        else:
+            old = self._env[RETVAL]
+            if _op_type(old) is not _op_type(value):
+                raise LoweringError(
+                    "function mixes int and bool return values", stmt.loc)
+            target = self._fresh("%rv", _op_type(value))
+            out.append(IfThenElse(target, flag, old, value))
+            self._env[RETVAL] = target
+        self._env[RETFLAG] = Const(1, VarType.BOOL)
+
+    def _lower_if(self, stmt: ast.IfStmt, out: list[Stmt]) -> None:
+        cond = self._flatten(stmt.cond, out)
+        if _op_type(cond) is not VarType.BOOL:
+            raise LoweringError("branch condition must be boolean", stmt.loc)
+        outer_env = dict(self._env)
+
+        # Then branch.
+        then_out: list[Stmt] = []
+        self._lower_block(stmt.then_body, then_out)
+        then_env = self._env
+
+        # Else branch starts from the outer environment.
+        self._env = dict(outer_env)
+        else_out: list[Stmt] = []
+        self._lower_block(stmt.else_body, else_out)
+        else_env = self._env
+
+        if then_out:
+            out.append(Branch(self._fresh("%br", VarType.BOOL), cond,
+                              then_out))
+        if else_out:
+            neg = self._fresh("%not", VarType.BOOL)
+            out.append(Binary(neg, BinOp.EQ, cond, Const(0, VarType.BOOL)))
+            out.append(Branch(self._fresh("%br", VarType.BOOL), neg,
+                              else_out))
+
+        # Merge: names visible after the if are those bound before it, plus
+        # names bound in *both* branches; branch-local names go out of
+        # scope at the join.
+        merged: dict[str, Operand] = {}
+        for name in set(then_env) | set(else_env):
+            then_val = then_env.get(name, outer_env.get(name))
+            else_val = else_env.get(name, outer_env.get(name))
+            if then_val is None or else_val is None:
+                continue
+            if then_val == else_val:
+                merged[name] = then_val
+                continue
+            if _op_type(then_val) is not _op_type(else_val):
+                raise LoweringError(
+                    f"variable {name} has inconsistent types across "
+                    f"branches", stmt.loc)
+            join = self._fresh(name if not name.startswith("%") else "%phi",
+                               _op_type(then_val))
+            out.append(IfThenElse(join, cond, then_val, else_val))
+            merged[name] = join
+        self._env = merged
+
+    # ------------------------------------------------------------------ #
+    # Expressions
+    # ------------------------------------------------------------------ #
+
+    def _flatten(self, expr: ast.Expr, out: list[Stmt],
+                 name_hint: Optional[str] = None) -> Operand:
+        if isinstance(expr, ast.IntLit):
+            return Const(expr.value % (1 << self.config.width), VarType.INT)
+        if isinstance(expr, ast.BoolLit):
+            return Const(1 if expr.value else 0, VarType.BOOL)
+        if isinstance(expr, ast.NullLit):
+            return Const(0, VarType.INT, is_null=True)
+        if isinstance(expr, ast.Name):
+            operand = self._env.get(expr.ident)
+            if operand is None:
+                raise LoweringError(f"undefined variable {expr.ident}",
+                                    expr.loc)
+            return operand
+        if isinstance(expr, ast.UnaryExpr):
+            inner = self._flatten(expr.operand, out)
+            if expr.op == "-":
+                if _op_type(inner) is not VarType.INT:
+                    raise LoweringError("unary '-' needs an integer",
+                                        expr.loc)
+                result = self._fresh(name_hint or "%t", VarType.INT)
+                out.append(Binary(result, BinOp.SUB,
+                                  Const(0, VarType.INT), inner))
+                return result
+            if _op_type(inner) is not VarType.BOOL:
+                raise LoweringError("'!' needs a boolean", expr.loc)
+            result = self._fresh(name_hint or "%t", VarType.BOOL)
+            out.append(Binary(result, BinOp.EQ, inner,
+                              Const(0, VarType.BOOL)))
+            return result
+        if isinstance(expr, ast.BinExpr):
+            lhs = self._flatten(expr.lhs, out)
+            rhs = self._flatten(expr.rhs, out)
+            self._check_binop(expr, lhs, rhs)
+            result = self._fresh(name_hint or "%t", expr.op.result_type())
+            out.append(Binary(result, expr.op, lhs, rhs))
+            return result
+        if isinstance(expr, ast.CallExpr):
+            args = tuple(self._flatten(a, out) for a in expr.args)
+            for arg in args:
+                if _op_type(arg) is not VarType.INT:
+                    raise LoweringError(
+                        f"call to {expr.callee}: arguments must be integers",
+                        expr.loc)
+            if expr.callee in self.defined:
+                rtype = self.return_types[expr.callee]
+            else:
+                self.externs.add(expr.callee)
+                rtype = VarType.INT
+            result = self._fresh(name_hint or "%t", rtype)
+            out.append(Call(result, expr.callee, args))
+            return result
+        raise LoweringError(f"unsupported expression {type(expr).__name__}",
+                            getattr(expr, "loc", ast.SourceLoc(0, 0)))
+
+    def _check_binop(self, expr: ast.BinExpr, lhs: Operand,
+                     rhs: Operand) -> None:
+        lt, rt = _op_type(lhs), _op_type(rhs)
+        op = expr.op
+        if op.is_logical:
+            if lt is not VarType.BOOL or rt is not VarType.BOOL:
+                raise LoweringError(f"'{op.value}' needs booleans", expr.loc)
+        elif op in (BinOp.EQ, BinOp.NE):
+            if lt is not rt:
+                raise LoweringError(
+                    f"'{op.value}' on mismatched types", expr.loc)
+        else:
+            if lt is not VarType.INT or rt is not VarType.INT:
+                raise LoweringError(f"'{op.value}' needs integers", expr.loc)
+
+
+def _op_type(operand: Operand) -> VarType:
+    return operand.type
+
+
+def _is_static_true(operand: Operand) -> bool:
+    return isinstance(operand, Const) and operand.type is VarType.BOOL \
+        and operand.value == 1
+
+
+def _is_static_false(operand: Operand) -> bool:
+    return isinstance(operand, Const) and operand.type is VarType.BOOL \
+        and operand.value == 0
+
+
+def compile_source(source: str,
+                   config: Optional[LoweringConfig] = None) -> Program:
+    """Parse and lower surface source text in one step."""
+    from repro.lang.parser import parse
+
+    return lower_module(parse(source), config)

@@ -1,0 +1,257 @@
+"""Recursive-descent parser for the surface small language.
+
+Grammar (EBNF)::
+
+    module    := (fundecl | externdecl)*
+    externdecl:= "extern" IDENT ("," IDENT)* ";"
+    fundecl   := "fun" IDENT "(" params? ")" block
+    params    := IDENT ("," IDENT)*
+    block     := "{" statement* "}"
+    statement := IDENT "=" expr ";"
+               | "if" "(" expr ")" block ("else" (block | ifstmt))?
+               | "while" "(" expr ")" block
+               | "return" expr? ";"
+               | expr ";"
+    expr      := or_expr
+    or_expr   := and_expr ("||" and_expr)*
+    and_expr  := cmp_expr ("&&" cmp_expr)*
+    cmp_expr  := bit_expr (("<"|"<="|">"|">="|"=="|"!=") bit_expr)?
+    bit_expr  := shift_expr (("&"|"|"|"^") shift_expr)*
+    shift_expr:= add_expr (("<<"|">>") add_expr)*
+    add_expr  := mul_expr (("+"|"-") mul_expr)*
+    mul_expr  := unary (("*"|"/"|"%") unary)*
+    unary     := ("-"|"!") unary | primary
+    primary   := INT | "null" | "true" | "false"
+               | IDENT "(" args? ")" | IDENT | "(" expr ")"
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang.ast_nodes import (AssignStmt, BinExpr, BoolLit, CallExpr,
+                                  Expr, ExprStmt, ExternDecl, FunctionDecl,
+                                  IfStmt, IntLit, Module, Name, NullLit,
+                                  ReturnStmt, SourceLoc, Statement,
+                                  UnaryExpr, WhileStmt)
+from repro.lang.ir import BinOp
+from repro.lang.lexer import Token, TokenKind, tokenize
+
+
+class ParseError(Exception):
+    def __init__(self, message: str, loc: SourceLoc) -> None:
+        super().__init__(f"{loc}: {message}")
+        self.loc = loc
+
+
+_BINOPS = {op.value: op for op in BinOp}
+
+
+class Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------ #
+    # Token helpers
+    # ------------------------------------------------------------------ #
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind is not TokenKind.EOF:
+            self._pos += 1
+        return token
+
+    def _check(self, kind: TokenKind, text: Optional[str] = None) -> bool:
+        token = self._current
+        return token.kind is kind and (text is None or token.text == text)
+
+    def _match(self, kind: TokenKind, text: Optional[str] = None) -> bool:
+        if self._check(kind, text):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, kind: TokenKind, text: Optional[str] = None) -> Token:
+        if not self._check(kind, text):
+            want = text if text is not None else kind.value
+            raise ParseError(
+                f"expected {want!r}, found {self._current.text!r}",
+                self._current.loc)
+        return self._advance()
+
+    # ------------------------------------------------------------------ #
+    # Declarations
+    # ------------------------------------------------------------------ #
+
+    def parse_module(self) -> Module:
+        module = Module()
+        while not self._check(TokenKind.EOF):
+            if self._check(TokenKind.KEYWORD, "extern"):
+                module.externs.extend(self._parse_extern())
+            elif self._check(TokenKind.KEYWORD, "fun"):
+                module.functions.append(self._parse_function())
+            else:
+                raise ParseError(
+                    f"expected 'fun' or 'extern', found "
+                    f"{self._current.text!r}", self._current.loc)
+        return module
+
+    def _parse_extern(self) -> list[ExternDecl]:
+        loc = self._expect(TokenKind.KEYWORD, "extern").loc
+        decls = [ExternDecl(self._expect(TokenKind.IDENT).text, loc)]
+        while self._match(TokenKind.COMMA):
+            decls.append(ExternDecl(self._expect(TokenKind.IDENT).text, loc))
+        self._expect(TokenKind.SEMI)
+        return decls
+
+    def _parse_function(self) -> FunctionDecl:
+        loc = self._expect(TokenKind.KEYWORD, "fun").loc
+        name = self._expect(TokenKind.IDENT).text
+        self._expect(TokenKind.LPAREN)
+        params: list[str] = []
+        if not self._check(TokenKind.RPAREN):
+            params.append(self._expect(TokenKind.IDENT).text)
+            while self._match(TokenKind.COMMA):
+                params.append(self._expect(TokenKind.IDENT).text)
+        self._expect(TokenKind.RPAREN)
+        body = self._parse_block()
+        if len(set(params)) != len(params):
+            raise ParseError(f"duplicate parameter in {name}", loc)
+        return FunctionDecl(name, params, body, loc)
+
+    # ------------------------------------------------------------------ #
+    # Statements
+    # ------------------------------------------------------------------ #
+
+    def _parse_block(self) -> list[Statement]:
+        self._expect(TokenKind.LBRACE)
+        body: list[Statement] = []
+        while not self._check(TokenKind.RBRACE):
+            body.append(self._parse_statement())
+        self._expect(TokenKind.RBRACE)
+        return body
+
+    def _parse_statement(self) -> Statement:
+        token = self._current
+
+        if token.kind is TokenKind.KEYWORD and token.text == "if":
+            return self._parse_if()
+        if token.kind is TokenKind.KEYWORD and token.text == "while":
+            loc = self._advance().loc
+            self._expect(TokenKind.LPAREN)
+            cond = self._parse_expr()
+            self._expect(TokenKind.RPAREN)
+            return WhileStmt(cond, self._parse_block(), loc)
+        if token.kind is TokenKind.KEYWORD and token.text == "return":
+            loc = self._advance().loc
+            value = None if self._check(TokenKind.SEMI) else self._parse_expr()
+            self._expect(TokenKind.SEMI)
+            return ReturnStmt(value, loc)
+
+        # Assignment (IDENT "=" ...) vs expression statement.
+        if token.kind is TokenKind.IDENT and \
+                self._tokens[self._pos + 1].kind is TokenKind.OP and \
+                self._tokens[self._pos + 1].text == "=":
+            target = self._advance().text
+            self._advance()  # '='
+            value = self._parse_expr()
+            self._expect(TokenKind.SEMI)
+            return AssignStmt(target, value, token.loc)
+
+        expr = self._parse_expr()
+        self._expect(TokenKind.SEMI)
+        return ExprStmt(expr, token.loc)
+
+    def _parse_if(self) -> IfStmt:
+        loc = self._expect(TokenKind.KEYWORD, "if").loc
+        self._expect(TokenKind.LPAREN)
+        cond = self._parse_expr()
+        self._expect(TokenKind.RPAREN)
+        then_body = self._parse_block()
+        else_body: list[Statement] = []
+        if self._match(TokenKind.KEYWORD, "else"):
+            if self._check(TokenKind.KEYWORD, "if"):
+                else_body = [self._parse_if()]
+            else:
+                else_body = self._parse_block()
+        return IfStmt(cond, then_body, else_body, loc)
+
+    # ------------------------------------------------------------------ #
+    # Expressions (precedence climbing via nested levels)
+    # ------------------------------------------------------------------ #
+
+    _LEVELS = (
+        ("||",),
+        ("&&",),
+        ("<", "<=", ">", ">=", "==", "!="),
+        ("&", "|", "^"),
+        ("<<", ">>"),
+        ("+", "-"),
+        ("*", "/", "%"),
+    )
+
+    def _parse_expr(self) -> Expr:
+        return self._parse_level(0)
+
+    def _parse_level(self, level: int) -> Expr:
+        if level >= len(self._LEVELS):
+            return self._parse_unary()
+        ops = self._LEVELS[level]
+        expr = self._parse_level(level + 1)
+        is_comparison = level == 2
+        while self._current.kind is TokenKind.OP and \
+                self._current.text in ops:
+            token = self._advance()
+            rhs = self._parse_level(level + 1)
+            expr = BinExpr(_BINOPS[token.text], expr, rhs, token.loc)
+            if is_comparison:
+                break  # comparisons do not chain (a < b < c is rejected)
+        return expr
+
+    def _parse_unary(self) -> Expr:
+        token = self._current
+        if token.kind is TokenKind.OP and token.text in ("-", "!"):
+            self._advance()
+            return UnaryExpr(token.text, self._parse_unary(), token.loc)
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self._current
+
+        if token.kind is TokenKind.INT:
+            self._advance()
+            return IntLit(int(token.text), token.loc)
+        if token.kind is TokenKind.KEYWORD and token.text == "null":
+            self._advance()
+            return NullLit(token.loc)
+        if token.kind is TokenKind.KEYWORD and token.text in ("true", "false"):
+            self._advance()
+            return BoolLit(token.text == "true", token.loc)
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            expr = self._parse_expr()
+            self._expect(TokenKind.RPAREN)
+            return expr
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            if self._match(TokenKind.LPAREN):
+                args: list[Expr] = []
+                if not self._check(TokenKind.RPAREN):
+                    args.append(self._parse_expr())
+                    while self._match(TokenKind.COMMA):
+                        args.append(self._parse_expr())
+                self._expect(TokenKind.RPAREN)
+                return CallExpr(token.text, args, token.loc)
+            return Name(token.text, token.loc)
+
+        raise ParseError(f"unexpected token {token.text!r}", token.loc)
+
+
+def parse(source: str) -> Module:
+    """Parse surface source text into a :class:`Module`."""
+    return Parser(tokenize(source)).parse_module()

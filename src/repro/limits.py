@@ -1,0 +1,65 @@
+"""Resource budgets and limit exceptions shared across engines.
+
+The paper runs every analysis "with the limit of 12 hours and 100GB of
+memory" and every SMT query "with a limit of 10 seconds" (Section 5).  The
+reproduction scales those limits down but keeps the same *mechanism*: an
+engine that exhausts its budget aborts with one of these exceptions, and
+the benchmark harness reports it the way the paper reports "Memory Out" /
+"timeout" entries.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+
+class ResourceExceeded(Exception):
+    """Base class for budget violations."""
+
+
+class MemoryBudgetExceeded(ResourceExceeded):
+    """Modeled memory (live term/summary nodes) exceeded the budget."""
+
+
+class TimeBudgetExceeded(ResourceExceeded):
+    """Wall-clock budget exceeded."""
+
+
+@dataclass
+class Budget:
+    """A wall-clock and modeled-memory budget for one analysis run.
+
+    ``memory_units`` counts abstract nodes (term DAG nodes, cached summary
+    entries, graph vertices) rather than bytes: pure-Python RSS is dominated
+    by interpreter overhead, while node counts reproduce the paper's memory
+    *ratios* deterministically.
+    """
+
+    max_seconds: Optional[float] = None
+    max_memory_units: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self._start = time.perf_counter()
+
+    def restart_clock(self) -> None:
+        self._start = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start
+
+    def check_time(self) -> None:
+        if self.max_seconds is not None and self.elapsed > self.max_seconds:
+            raise TimeBudgetExceeded(
+                f"exceeded time budget of {self.max_seconds:.1f}s")
+
+    def check_memory(self, units: int) -> None:
+        if self.max_memory_units is not None and units > self.max_memory_units:
+            raise MemoryBudgetExceeded(
+                f"modeled memory {units} exceeded budget "
+                f"{self.max_memory_units}")
+
+
+UNLIMITED = Budget()

@@ -1,0 +1,186 @@
+"""The program dependence graph (Definition 3.1).
+
+``G = (V, E_d, E_c)``: vertices are statements (equivalently, the SSA
+variable each defines); data-dependence edges follow Figure 5, with call
+and return edges carrying a matched-parenthesis label — the call-site id —
+in the CFL-reachability style the paper adopts from Reps [42]; control
+dependence edges run from a statement to the *innermost* branch governing
+it (the chain to outer branches is recovered transitively, as in the
+paper's Figure 7).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.lang.ir import Operand, Program, Stmt, Var
+
+
+class EdgeKind(enum.Enum):
+    """Data-dependence edge flavours."""
+
+    LOCAL = "local"    # intra-procedural def -> use
+    CALL = "call"      # actual -> parameter identity, labelled "(i"
+    RETURN = "return"  # callee return -> receiver, labelled ")i"
+    EXTERN = "extern"  # actual -> receiver through an empty function
+
+
+@dataclass(frozen=True)
+class Vertex:
+    """A PDG vertex: one statement of one function."""
+
+    index: int
+    function: str
+    stmt: Stmt
+
+    @property
+    def var(self) -> Var:
+        """The variable this statement defines."""
+        return self.stmt.result
+
+    def __repr__(self) -> str:
+        return f"<{self.function}:{self.stmt!r}>"
+
+    def __hash__(self) -> int:
+        return self.index
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Vertex) and other.index == self.index
+
+
+@dataclass(frozen=True)
+class DataEdge:
+    """A data-dependence edge ``src -> dst`` (dst uses what src defines)."""
+
+    src: Vertex
+    dst: Vertex
+    kind: EdgeKind = EdgeKind.LOCAL
+    callsite: Optional[int] = None  # parenthesis label for CALL/RETURN
+
+    def label(self) -> str:
+        if self.kind is EdgeKind.CALL:
+            return f"({self.callsite}"
+        if self.kind is EdgeKind.RETURN:
+            return f"){self.callsite}"
+        return ""
+
+    def __repr__(self) -> str:
+        tag = f" {self.label()}" if self.label() else ""
+        return f"{self.src!r} ->{tag} {self.dst!r}"
+
+
+@dataclass
+class CallSite:
+    """One call statement calling a defined (non-empty) function."""
+
+    callsite_id: int
+    caller: str
+    callee: str
+    call_vertex: Vertex  # the receiver-defining call statement
+
+
+class ProgramDependenceGraph:
+    """Whole-program PDG with vertex/edge queries used by every engine."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.vertices: list[Vertex] = []
+        self._vertex_of_stmt: dict[int, Vertex] = {}
+        self._def_of: dict[tuple[str, str], Vertex] = {}
+        self._preds: dict[int, list[DataEdge]] = {}
+        self._succs: dict[int, list[DataEdge]] = {}
+        self._control_parent: dict[int, Vertex] = {}
+        self.callsites: dict[int, CallSite] = {}
+        self._function_vertices: dict[str, list[Vertex]] = {}
+        self._return_vertex: dict[str, Vertex] = {}
+        self._param_vertices: dict[str, list[Vertex]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Construction API (used by the builder)
+    # ------------------------------------------------------------------ #
+
+    def add_vertex(self, function: str, stmt: Stmt) -> Vertex:
+        vertex = Vertex(len(self.vertices), function, stmt)
+        self.vertices.append(vertex)
+        self._vertex_of_stmt[id(stmt)] = vertex
+        self._def_of[(function, stmt.result.name)] = vertex
+        self._preds[vertex.index] = []
+        self._succs[vertex.index] = []
+        self._function_vertices.setdefault(function, []).append(vertex)
+        return vertex
+
+    def add_data_edge(self, edge: DataEdge) -> None:
+        self._preds[edge.dst.index].append(edge)
+        self._succs[edge.src.index].append(edge)
+
+    def set_control_parent(self, vertex: Vertex, branch: Vertex) -> None:
+        self._control_parent[vertex.index] = branch
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    def vertex_of(self, stmt: Stmt) -> Vertex:
+        return self._vertex_of_stmt[id(stmt)]
+
+    def def_of(self, function: str, var: str) -> Vertex:
+        return self._def_of[(function, var)]
+
+    def def_of_operand(self, function: str,
+                       operand: Operand) -> Optional[Vertex]:
+        """Defining vertex of an operand, or None for constants."""
+        if isinstance(operand, Var):
+            return self._def_of.get((function, operand.name))
+        return None
+
+    def data_preds(self, vertex: Vertex) -> list[DataEdge]:
+        return self._preds[vertex.index]
+
+    def data_succs(self, vertex: Vertex) -> list[DataEdge]:
+        return self._succs[vertex.index]
+
+    def control_parent(self, vertex: Vertex) -> Optional[Vertex]:
+        return self._control_parent.get(vertex.index)
+
+    def control_chain(self, vertex: Vertex) -> Iterator[Vertex]:
+        """The transitive chain of governing branches (Rule 2 closure)."""
+        current = self.control_parent(vertex)
+        while current is not None:
+            yield current
+            current = self.control_parent(current)
+
+    def function_vertices(self, function: str) -> list[Vertex]:
+        return self._function_vertices.get(function, [])
+
+    def return_vertex(self, function: str) -> Optional[Vertex]:
+        return self._return_vertex.get(function)
+
+    def param_vertices(self, function: str) -> list[Vertex]:
+        return self._param_vertices.get(function, [])
+
+    def functions(self) -> Iterable[str]:
+        return self._function_vertices.keys()
+
+    # ------------------------------------------------------------------ #
+    # Statistics (Table 2 columns)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertices)
+
+    @property
+    def num_edges(self) -> int:
+        data = sum(len(edges) for edges in self._preds.values())
+        return data + len(self._control_parent)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "functions": len(self._function_vertices),
+            "vertices": self.num_vertices,
+            "data_edges": sum(len(e) for e in self._preds.values()),
+            "control_edges": len(self._control_parent),
+            "callsites": len(self.callsites),
+        }

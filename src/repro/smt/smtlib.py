@@ -1,0 +1,102 @@
+"""SMT-LIB v2 export.
+
+Dumps a constraint set as a standard ``QF_BV`` script so any external
+solver (Z3, cvc5, Bitwuzla, ...) can cross-check this library's verdicts.
+The printer handles the full operator set of ``repro.smt.terms`` and
+mangles variable names into SMT-LIB symbols (``|quoted|`` when needed).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from repro.smt.terms import Op, Term
+
+_OP_NAMES = {
+    Op.NOT: "not", Op.AND: "and", Op.OR: "or", Op.XOR: "xor",
+    Op.IMPLIES: "=>", Op.EQ: "=", Op.ITE: "ite",
+    Op.BVADD: "bvadd", Op.BVSUB: "bvsub", Op.BVMUL: "bvmul",
+    Op.BVNEG: "bvneg", Op.BVUDIV: "bvudiv", Op.BVUREM: "bvurem",
+    Op.BVAND: "bvand", Op.BVOR: "bvor", Op.BVXOR: "bvxor",
+    Op.BVNOT: "bvnot", Op.BVSHL: "bvshl", Op.BVLSHR: "bvlshr",
+    Op.ULT: "bvult", Op.ULE: "bvule", Op.SLT: "bvslt", Op.SLE: "bvsle",
+}
+
+_PLAIN_CHARS = set("abcdefghijklmnopqrstuvwxyz"
+                   "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+                   "~!@$%^&*_-+=<>.?/")
+
+
+def smtlib_symbol(name: str) -> str:
+    """Quote a name into a legal SMT-LIB symbol."""
+    if name and all(c in _PLAIN_CHARS for c in name) \
+            and not name[0].isdigit():
+        return name
+    escaped = name.replace("\\", "\\\\").replace("|", "")
+    return f"|{escaped}|"
+
+
+def term_to_smtlib(term: Term) -> str:
+    """Render one term as an SMT-LIB expression (with let-free sharing
+    expansion; fine for the sizes this library exports)."""
+    if term.op is Op.VAR:
+        return smtlib_symbol(term.name)
+    if term.op is Op.TRUE:
+        return "true"
+    if term.op is Op.FALSE:
+        return "false"
+    if term.op is Op.CONST:
+        width = term.sort.width
+        return f"(_ bv{term.value} {width})"
+    name = _OP_NAMES.get(term.op)
+    if name is None:
+        raise ValueError(f"no SMT-LIB rendering for {term.op}")
+    inner = " ".join(term_to_smtlib(arg) for arg in term.args)
+    return f"({name} {inner})"
+
+
+def to_smtlib_script(constraints: Iterable[Term],
+                     logic: str = "QF_BV",
+                     expected: Optional[str] = None) -> str:
+    """A complete script: declarations, assertions, ``(check-sat)``.
+
+    ``expected`` adds a ``:status`` info line ("sat"/"unsat"), the
+    convention SMT-LIB benchmarks use to record the known verdict.
+    """
+    constraints = list(constraints)
+    variables: dict[int, Term] = {}
+    for constraint in constraints:
+        for var in constraint.free_vars():
+            variables[var.tid] = var
+
+    lines = [f"(set-logic {logic})"]
+    if expected is not None:
+        lines.append(f"(set-info :status {expected})")
+    for var in sorted(variables.values(), key=lambda v: v.name):
+        symbol = smtlib_symbol(var.name)
+        if var.sort.is_bool:
+            lines.append(f"(declare-fun {symbol} () Bool)")
+        else:
+            lines.append(
+                f"(declare-fun {symbol} () (_ BitVec {var.sort.width}))")
+    for constraint in constraints:
+        lines.append(f"(assert {term_to_smtlib(constraint)})")
+    lines.append("(check-sat)")
+    return "\n".join(lines) + "\n"
+
+
+def model_to_smtlib(model: Mapping[Term, int]) -> str:
+    """Render a model as ``(define-fun ...)`` entries (get-model style)."""
+    lines = ["("]
+    for var in sorted(model, key=lambda v: v.name):
+        symbol = smtlib_symbol(var.name)
+        value = model[var]
+        if var.sort.is_bool:
+            lines.append(f"  (define-fun {symbol} () Bool "
+                         f"{'true' if value else 'false'})")
+        else:
+            lines.append(f"  (define-fun {symbol} () "
+                         f"(_ BitVec {var.sort.width}) "
+                         f"(_ bv{value} {var.sort.width}))")
+    lines.append(")")
+    return "\n".join(lines)

@@ -1,0 +1,131 @@
+"""The conventional SMT solution (Algorithm 3 of the paper).
+
+``smt_solve`` first runs the equisatisfiable preprocessing pipeline; if
+that decides the formula (the paper reports this settles 21% of instances)
+it returns immediately, otherwise the residual constraints are bit-blasted
+and handed to the CDCL SAT back end — exactly the structure of Algorithm 3
+("preprocess; if true return sat; if false return unsat; specific_solve").
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.smt.bitblast import BitBlaster
+from repro.smt.preprocess import Preprocessor, PreprocessStats, Verdict
+from repro.smt.sat import SatStatus
+from repro.smt.terms import Term, TermManager
+
+
+class SmtStatus(enum.Enum):
+    """Outcome of an SMT query."""
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"   # resource limit hit (the paper's 10 s budget)
+
+
+@dataclass
+class SmtResult:
+    status: SmtStatus
+    model: dict[Term, int] = field(default_factory=dict)
+    decided_in_preprocess: bool = False
+    preprocess_stats: Optional[PreprocessStats] = None
+    solve_time: float = 0.0
+    sat_conflicts: int = 0
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status is SmtStatus.SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status is SmtStatus.UNSAT
+
+
+@dataclass
+class SolverConfig:
+    """Knobs shared by the conventional and graph-based solvers."""
+
+    enabled_passes: Optional[Sequence[str]] = None  # None = all passes
+    use_preprocess: bool = True
+    conflict_limit: Optional[int] = 200_000
+    time_limit: Optional[float] = 10.0  # the paper's per-query budget
+
+
+class SmtSolver:
+    """A standalone, general-purpose solver over a :class:`TermManager`.
+
+    This plays the role of "the default solver of Z3" in the paper's
+    Figure 11 comparison: it sees only the final formula, with all program
+    structure lost.
+    """
+
+    def __init__(self, manager: TermManager,
+                 config: Optional[SolverConfig] = None) -> None:
+        self.manager = manager
+        self.config = config if config is not None else SolverConfig()
+        self.queries = 0
+        self.decided_in_preprocess = 0
+
+    def check(self, constraints: Iterable[Term],
+              want_model: bool = False) -> SmtResult:
+        """Decide satisfiability of the conjunction of ``constraints``."""
+        start = time.perf_counter()
+        self.queries += 1
+        constraints = list(constraints)
+
+        pre_stats: Optional[PreprocessStats] = None
+        completions = None
+        if self.config.use_preprocess:
+            preprocessor = Preprocessor(self.manager,
+                                        enabled=self.config.enabled_passes)
+            pre = preprocessor.run(constraints)
+            pre_stats = pre.stats
+            completions = pre
+            if pre.verdict is Verdict.SAT:
+                self.decided_in_preprocess += 1
+                model = pre.complete_model({}) if want_model else {}
+                return SmtResult(SmtStatus.SAT, model, True, pre_stats,
+                                 time.perf_counter() - start)
+            if pre.verdict is Verdict.UNSAT:
+                self.decided_in_preprocess += 1
+                return SmtResult(SmtStatus.UNSAT, {}, True, pre_stats,
+                                 time.perf_counter() - start)
+            residual = pre.constraints
+        else:
+            residual = constraints
+
+        blaster = BitBlaster()
+        for constraint in residual:
+            blaster.assert_true(constraint)
+        sat_result = blaster.solve(conflict_limit=self.config.conflict_limit,
+                                   time_limit=self.config.time_limit)
+
+        elapsed = time.perf_counter() - start
+        if sat_result.status is SatStatus.UNKNOWN:
+            return SmtResult(SmtStatus.UNKNOWN, {}, False, pre_stats, elapsed,
+                             sat_result.conflicts)
+        if sat_result.status is SatStatus.UNSAT:
+            return SmtResult(SmtStatus.UNSAT, {}, False, pre_stats, elapsed,
+                             sat_result.conflicts)
+
+        model: dict[Term, int] = {}
+        if want_model:
+            seen_vars: set[Term] = set()
+            for constraint in residual:
+                seen_vars.update(constraint.free_vars())
+            model = {var: blaster.model_value(var, sat_result.model)
+                     for var in seen_vars}
+            if completions is not None:
+                model = completions.complete_model(model)
+        return SmtResult(SmtStatus.SAT, model, False, pre_stats, elapsed,
+                         sat_result.conflicts)
+
+
+def smt_solve(manager: TermManager, constraints: Iterable[Term],
+              **kwargs) -> SmtResult:
+    """One-shot convenience wrapper (the paper's ``smt_solve`` procedure)."""
+    return SmtSolver(manager).check(constraints, **kwargs)

@@ -1,0 +1,111 @@
+"""Formula-level tactics mirroring the Z3 tactics used by the paper's
+Pinpoint variants (Section 5.1):
+
+* ``lfs_simplify``   — lightweight formula simplification, Z3's
+  ``simplify`` tactic: pure local rewriting (Pinpoint+LFS).
+* ``hfs_simplify``   — heavyweight formula simplification, Z3's
+  ``ctx-solver-simplify`` tactic: context-dependent simplification that
+  "needs to invoke the SMT solver several times" (Pinpoint+HFS).
+* ``eliminate_quantifier`` — Z3's ``qe`` tactic for the bit-vector
+  fragment, implemented by model enumeration / Shannon expansion over the
+  eliminated variable's domain; deliberately explosive, as the paper
+  observes ("QE is of high complexity and may take a lot of time but
+  notably enlarge the condition size").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.limits import MemoryBudgetExceeded
+from repro.smt.preprocess import flatten_conjunction
+from repro.smt.rewriter import simplify
+from repro.smt.solver import SmtSolver, SolverConfig
+from repro.smt.terms import Op, Term, TermManager
+
+
+def lfs_simplify(manager: TermManager, formula: Term) -> Term:
+    """Lightweight simplification: a single local rewriting pass."""
+    return simplify(manager, formula)
+
+
+def hfs_simplify(manager: TermManager, formula: Term,
+                 solver_config: Optional[SolverConfig] = None,
+                 max_queries: int = 64) -> tuple[Term, int]:
+    """Heavyweight contextual simplification.
+
+    For each top-level conjunct ``c`` of ``formula``, queries the solver
+    whether the remaining context entails ``c`` (replace by true) or
+    entails ``not c`` (whole formula is false).  Returns the simplified
+    formula and the number of solver queries spent — the cost the paper
+    blames for Pinpoint+HFS being slower than plain Pinpoint.
+    """
+    config = solver_config if solver_config is not None else SolverConfig()
+    conjuncts = flatten_conjunction([formula])
+    queries = 0
+    changed = True
+    while changed and queries < max_queries:
+        changed = False
+        for i, conjunct in enumerate(conjuncts):
+            if conjunct.op in (Op.TRUE, Op.FALSE):
+                continue
+            context = conjuncts[:i] + conjuncts[i + 1:]
+            solver = SmtSolver(manager, config)
+            queries += 1
+            # context /\ not c unsat  =>  context entails c: drop c.
+            if solver.check(context + [manager.not_(conjunct)]).is_unsat:
+                conjuncts = context
+                changed = True
+                break
+            if queries >= max_queries:
+                break
+            solver = SmtSolver(manager, config)
+            queries += 1
+            # context /\ c unsat  =>  formula is false.
+            if solver.check(context + [conjunct]).is_unsat:
+                return manager.false, queries
+    return simplify(manager, manager.conj(conjuncts)), queries
+
+
+def eliminate_quantifier(manager: TermManager, formula: Term,
+                         variables: Sequence[Term],
+                         max_size: int = 200_000) -> Term:
+    """Compute a quantifier-free equivalent of ``exists variables. formula``.
+
+    Bit-vector QE by domain enumeration: each eliminated variable multiplies
+    the formula by up to ``2**width`` disjuncts.  ``max_size`` models the
+    memory exhaustion that makes Pinpoint+QE fail on every project but the
+    smallest one in the paper's evaluation; exceeding it raises
+    :class:`MemoryBudgetExceeded`.
+    """
+    current = simplify(manager, formula)
+    for var in variables:
+        if var not in current.free_vars():
+            continue
+        if var.sort.is_bool:
+            values: Iterable[Term] = (manager.true, manager.false)
+        else:
+            width = var.sort.width
+            values = (manager.bv_const(v, width) for v in range(1 << width))
+        disjuncts: list[Term] = []
+        size = 0
+        for value in values:
+            instance = simplify(
+                manager, manager.substitute(current, {var: value}))
+            if instance.op is Op.TRUE:
+                disjuncts = [manager.true]
+                size = 1
+                break
+            if instance.op is Op.FALSE:
+                continue
+            disjuncts.append(instance)
+            size += instance.dag_size()
+            if size > max_size:
+                raise MemoryBudgetExceeded(
+                    f"quantifier elimination of {var.name} exceeded "
+                    f"{max_size} nodes")
+        current = simplify(manager, manager.disj(disjuncts))
+        if current.dag_size() > max_size:
+            raise MemoryBudgetExceeded(
+                f"quantifier elimination result exceeded {max_size} nodes")
+    return current

@@ -1,0 +1,89 @@
+"""Shared analysis driver: sparse collection + per-candidate feasibility.
+
+Every path-sensitive engine (Fusion, Pinpoint and its variants) runs the
+same loop — collect candidates sparsely, then decide each candidate's path
+feasibility — and differs only in *how* feasibility is decided.  The
+driver also enforces the run's resource budget (the paper's 12 h / 100 GB
+caps) and records per-query data for the Figure 11 scatter.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.checkers.base import (AnalysisResult, BugCandidate, BugReport,
+                                 Checker)
+from repro.limits import (Budget, MemoryBudgetExceeded, ResourceExceeded,
+                          TimeBudgetExceeded)
+from repro.pdg.graph import ProgramDependenceGraph
+from repro.smt.solver import SmtResult, SmtStatus
+from repro.sparse.engine import SparseConfig, collect_candidates
+
+
+@dataclass
+class QueryRecord:
+    """One SMT query's outcome (feeds the Figure 11 comparison)."""
+
+    status: SmtStatus
+    seconds: float
+    decided_in_preprocess: bool
+    condition_nodes: int = 0
+
+
+SolveFn = Callable[[BugCandidate], SmtResult]
+MemoryFn = Callable[[], tuple[int, int]]  # (total units, condition units)
+
+
+def run_analysis(pdg: ProgramDependenceGraph, checker: Checker,
+                 engine_name: str, solve_candidate: SolveFn,
+                 memory_snapshot: MemoryFn,
+                 budget: Optional[Budget] = None,
+                 sparse_config: Optional[SparseConfig] = None,
+                 query_records: Optional[list[QueryRecord]] = None
+                 ) -> AnalysisResult:
+    budget = budget if budget is not None else Budget()
+    budget.restart_clock()
+    result = AnalysisResult(engine_name, checker.name)
+    start = time.perf_counter()
+
+    try:
+        candidates = collect_candidates(pdg, checker, sparse_config)
+        result.candidates = len(candidates)
+        for candidate in candidates:
+            t0 = time.perf_counter()
+            smt_result = solve_candidate(candidate)
+            seconds = time.perf_counter() - t0
+            result.smt_queries += 1
+            if smt_result.decided_in_preprocess:
+                result.decided_in_preprocess += 1
+            if query_records is not None:
+                query_records.append(QueryRecord(
+                    smt_result.status, seconds,
+                    smt_result.decided_in_preprocess))
+            feasible = smt_result.status is not SmtStatus.UNSAT
+            witness = {var.name: value
+                       for var, value in smt_result.model.items()}
+            result.reports.append(BugReport(
+                candidate, feasible, smt_result.decided_in_preprocess,
+                seconds, witness))
+            total, condition = memory_snapshot()
+            result.memory_units = max(result.memory_units, total)
+            result.condition_memory_units = max(
+                result.condition_memory_units, condition)
+            budget.check_memory(total)
+            budget.check_time()
+    except MemoryBudgetExceeded:
+        result.failure = "memory"
+    except TimeBudgetExceeded:
+        result.failure = "time"
+    except ResourceExceeded:
+        result.failure = "resource"
+
+    total, condition = memory_snapshot()
+    result.memory_units = max(result.memory_units, total)
+    result.condition_memory_units = max(result.condition_memory_units,
+                                        condition)
+    result.wall_time = time.perf_counter() - start
+    return result

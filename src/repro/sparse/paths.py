@@ -1,0 +1,151 @@
+"""Data-dependence paths and their calling contexts.
+
+A sparse analysis explores paths over the PDG's data edges.  Crossing a
+labelled call edge ``(i`` enters a callee frame; crossing a return edge
+``)i`` either leaves a frame entered through the same site (balanced) or
+escapes into a caller (the unbalanced-up flows that let a null pointer
+"propagate to the caller and upper-level caller functions").
+
+Frames are the path-sensitive analogue of call strings: every distinct
+frame along a path gets its own clone namespace when the path condition is
+built, which is exactly the function cloning of Section 3.2.1's
+inter-procedural transformation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.pdg.graph import DataEdge, EdgeKind, Vertex
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One function activation along a path.
+
+    ``parent`` and ``callsite`` record how the frame relates to the frame
+    it was entered from: a callee frame knows its caller (entered via a
+    call edge); a caller frame discovered through an unbalanced return
+    knows the callee it was entered *from* (``via_return=True``).
+    """
+
+    fid: int
+    function: str
+    parent: Optional["Frame"] = None
+    callsite: Optional[int] = None
+    via_return: bool = False
+
+    def __repr__(self) -> str:
+        rel = ""
+        if self.parent is not None:
+            arrow = ")" if self.via_return else "("
+            rel = f" {arrow}{self.callsite} of #{self.parent.fid}"
+        return f"Frame#{self.fid}[{self.function}{rel}]"
+
+    def __hash__(self) -> int:
+        return self.fid
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Frame) and other.fid == self.fid
+
+
+class FrameTable:
+    """Interns frames so one traversal reuses frame identities."""
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+        self._cache: dict[tuple, Frame] = {}
+
+    def root(self, function: str) -> Frame:
+        return self._intern(("root", function), function, None, None, False)
+
+    def enter_call(self, parent: Frame, callsite: int,
+                   callee: str) -> Frame:
+        return self._intern(("call", parent.fid, callsite), callee, parent,
+                            callsite, False)
+
+    def escape_return(self, child: Frame, callsite: int,
+                      caller: str) -> Frame:
+        return self._intern(("ret", child.fid, callsite), caller, child,
+                            callsite, True)
+
+    def _intern(self, key: tuple, function: str, parent: Optional[Frame],
+                callsite: Optional[int], via_return: bool) -> Frame:
+        frame = self._cache.get(key)
+        if frame is None:
+            frame = Frame(next(self._counter), function, parent, callsite,
+                          via_return)
+            self._cache[key] = frame
+        return frame
+
+
+@dataclass(frozen=True)
+class PathStep:
+    vertex: Vertex
+    frame: Frame
+
+
+@dataclass
+class DependencePath:
+    """A data-dependence path π with per-step calling contexts."""
+
+    steps: list[PathStep] = field(default_factory=list)
+
+    @property
+    def source(self) -> PathStep:
+        return self.steps[0]
+
+    @property
+    def sink(self) -> PathStep:
+        return self.steps[-1]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def frames(self) -> list[Frame]:
+        seen: dict[int, Frame] = {}
+        for step in self.steps:
+            frame: Optional[Frame] = step.frame
+            while frame is not None and frame.fid not in seen:
+                seen[frame.fid] = frame
+                frame = frame.parent
+        return list(seen.values())
+
+    def __repr__(self) -> str:
+        inner = " -> ".join(
+            f"{s.vertex.stmt.result.name}@{s.frame.fid}" for s in self.steps)
+        return f"π[{inner}]"
+
+
+def extend_path(path: DependencePath, edge: DataEdge,
+                frames: FrameTable) -> Optional[DependencePath]:
+    """Extend ``path`` across ``edge``; None if the contexts don't match.
+
+    Implements the valid-path discipline: call edges push a frame; return
+    edges pop a frame entered through the same call site, or escape into
+    the caller when the current frame is a root/escaped frame.
+    """
+    step = path.steps[-1]
+    frame = step.frame
+
+    if edge.kind is EdgeKind.CALL:
+        assert edge.callsite is not None
+        new_frame = frames.enter_call(frame, edge.callsite,
+                                      edge.dst.function)
+    elif edge.kind is EdgeKind.RETURN:
+        assert edge.callsite is not None
+        if frame.parent is not None and not frame.via_return:
+            # Balanced: only the matching call site may take us back.
+            if frame.callsite != edge.callsite:
+                return None
+            new_frame = frame.parent
+        else:
+            # Unbalanced-up: escape into the calling function.
+            new_frame = frames.escape_return(frame, edge.callsite,
+                                             edge.dst.function)
+    else:
+        new_frame = frame
+
+    return DependencePath(path.steps + [PathStep(edge.dst, new_frame)])

@@ -1,0 +1,90 @@
+"""Tests for the synthetic subject generator and ground truth."""
+
+import pytest
+
+from repro.bench import SubjectSpec, generate_subject
+from repro.checkers import (NullDereferenceChecker, cwe23_checker,
+                            cwe402_checker)
+from repro.fusion import FusionEngine, prepare_pdg
+from repro.lang.ir import Call
+
+
+def spec(**overrides):
+    base = dict(name="t", seed=99, num_functions=14, layers=3, avg_stmts=8,
+                call_fanout=2, null_bugs=(2, 1, 1),
+                taint23_bugs=(1, 0, 1), taint402_bugs=(1, 1, 0))
+    base.update(overrides)
+    return SubjectSpec(**base)
+
+
+class TestDeterminism:
+    def test_same_seed_same_source(self):
+        a = generate_subject(spec())
+        b = generate_subject(spec())
+        assert a.source == b.source
+        assert a.ground_truth == b.ground_truth
+
+    def test_different_seed_different_source(self):
+        a = generate_subject(spec(seed=1))
+        b = generate_subject(spec(seed=2))
+        assert a.source != b.source
+
+
+class TestStructure:
+    def test_program_compiles_and_validates(self):
+        subject = generate_subject(spec())
+        subject.program.validate()
+
+    def test_layered_calls_are_acyclic(self):
+        from repro.pdg import CallGraph
+
+        subject = generate_subject(spec())
+        assert not CallGraph(subject.program).recursive_functions()
+
+    def test_fanout_respected(self):
+        subject = generate_subject(spec(call_fanout=3))
+        program = subject.program
+        # Every non-leaf generated function calls exactly fanout defined
+        # functions (the chained-call construction).
+        for name, fn in program.functions.items():
+            if not name.startswith("fn_l") or name.startswith("fn_l2"):
+                continue
+            calls = [s for s in fn.statements() if isinstance(s, Call)
+                     and s.callee in program.functions]
+            assert len(calls) == 3, name
+
+    def test_loc_scales_with_functions(self):
+        small = generate_subject(spec(num_functions=8))
+        large = generate_subject(spec(num_functions=40))
+        assert large.loc > small.loc * 2
+
+
+class TestGroundTruth:
+    def test_counts_match_plan(self):
+        subject = generate_subject(spec())
+        null_truth = subject.truth_for("null-deref")
+        assert len(null_truth) == 4
+        assert sum(1 for b in null_truth if b.real) == 2
+        assert sum(1 for b in null_truth if not b.path_feasible) == 1
+        assert len(subject.truth_for("cwe-23")) == 2
+        assert len(subject.truth_for("cwe-402")) == 2
+
+    def test_keys_are_unique(self):
+        subject = generate_subject(spec())
+        keys = [b.key for b in subject.ground_truth]
+        assert len(keys) == len(set(keys))
+
+    @pytest.mark.parametrize("checker_factory,name", [
+        (NullDereferenceChecker, "null-deref"),
+        (cwe23_checker, "cwe-23"),
+        (cwe402_checker, "cwe-402"),
+    ])
+    def test_fusion_verdicts_match_labels(self, checker_factory, name):
+        """The engine reports exactly the path-feasible injected bugs."""
+        subject = generate_subject(spec(seed=123))
+        pdg = prepare_pdg(subject.program)
+        result = FusionEngine(pdg).analyze(checker_factory())
+        reported = {r.source.function for r in result.bugs}
+        expected = {b.source_function for b in subject.truth_for(name)
+                    if b.path_feasible}
+        assert reported == expected

@@ -1,0 +1,131 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+fun bar(x) {
+  y = x * 2;
+  z = y;
+  return z;
+}
+fun foo(a, b) {
+  p = null;
+  c = bar(a);
+  d = bar(b);
+  if (c < d) { deref(p); }
+  return 0;
+}
+fun safe(a) {
+  q = null;
+  if (a < a) { deref(q); }
+  return 0;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.fl"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestScan:
+    def test_finds_bug_and_exits_nonzero(self, source_file, capsys):
+        code = main(["scan", source_file, "--checker", "null-deref"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "[BUG]" in out and "foo" in out
+        assert "safe" not in out  # infeasible filtered by default
+
+    def test_show_infeasible(self, source_file, capsys):
+        main(["scan", source_file, "--checker", "null-deref",
+              "--show-infeasible"])
+        out = capsys.readouterr().out
+        assert "[infeasible]" in out and "safe" in out
+
+    def test_json_output(self, source_file, capsys):
+        code = main(["scan", source_file, "--checker", "null-deref",
+                     "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert payload["engine"] == "fusion"
+        assert len(payload["findings"]) == 1
+        finding = payload["findings"][0]
+        assert finding["source_function"] == "foo"
+        assert finding["path"][0] == "p"
+
+    def test_witness_extraction(self, source_file, capsys):
+        main(["scan", source_file, "--checker", "null-deref", "--witness",
+              "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        witness = payload["findings"][0].get("witness", {})
+        assert witness, "expected a concrete model"
+        # The witness must make the guard true: c < d (8-bit signed).
+        c = next(v for k, v in witness.items() if k.endswith("::c#f0"))
+        d = next(v for k, v in witness.items() if k.endswith("::d#f0"))
+        from repro.smt import to_signed
+        assert to_signed(c, 8) < to_signed(d, 8)
+
+    def test_clean_program_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "clean.fl"
+        path.write_text("fun f(a) { return a + 1; }")
+        code = main(["scan", str(path)])
+        assert code == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_dot_export(self, source_file, tmp_path, capsys):
+        dot_file = tmp_path / "pdg.dot"
+        main(["scan", source_file, "--checker", "null-deref",
+              "--dot", str(dot_file)])
+        text = dot_file.read_text()
+        assert text.startswith("digraph pdg")
+        assert "style=dashed" in text
+
+    def test_engine_selection(self, source_file, capsys):
+        code = main(["scan", source_file, "--checker", "null-deref",
+                     "--engine", "pinpoint"])
+        assert code == 1
+        assert "[BUG]" in capsys.readouterr().out
+
+    def test_stdin_input(self, monkeypatch, capsys):
+        import io
+        monkeypatch.setattr("sys.stdin", io.StringIO(
+            "fun f() { p = null; deref(p); return 0; }"))
+        code = main(["scan", "-", "--checker", "null-deref"])
+        assert code == 1
+
+
+class TestOtherCommands:
+    def test_subjects_lists_registry(self, capsys):
+        assert main(["subjects"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf" in out and "wine" in out
+
+    def test_bench_single_cell(self, capsys):
+        code = main(["bench", "--subject", "mcf", "--engine", "fusion"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["subject"] == "mcf"
+        assert payload["failure"] is None
+
+
+class TestVerboseScan:
+    def test_verbose_report(self, source_file, capsys):
+        code = main(["scan", source_file, "--checker", "null-deref",
+                     "--verbose"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "Null pointer dereference" in out
+        assert "trace:" in out and "feasibility:" in out
+        assert "witness:" in out  # --verbose implies model extraction
+
+    def test_verbose_with_infeasible(self, source_file, capsys):
+        main(["scan", source_file, "--checker", "null-deref",
+              "--verbose", "--show-infeasible"])
+        out = capsys.readouterr().out
+        assert "INFEASIBLE" in out

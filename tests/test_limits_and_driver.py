@@ -1,0 +1,108 @@
+"""Tests for resource budgets and the shared analysis driver."""
+
+import time
+
+import pytest
+
+from repro.limits import (Budget, MemoryBudgetExceeded, TimeBudgetExceeded)
+from repro.checkers import NullDereferenceChecker
+from repro.fusion import prepare_pdg
+from repro.lang import compile_source
+from repro.smt.solver import SmtResult, SmtStatus
+from repro.sparse.driver import run_analysis
+
+
+class TestBudget:
+    def test_unlimited_budget_never_trips(self):
+        budget = Budget()
+        budget.check_time()
+        budget.check_memory(10**12)
+
+    def test_memory_budget_raises(self):
+        budget = Budget(max_memory_units=100)
+        budget.check_memory(100)
+        with pytest.raises(MemoryBudgetExceeded):
+            budget.check_memory(101)
+
+    def test_time_budget_raises(self):
+        budget = Budget(max_seconds=0.01)
+        time.sleep(0.02)
+        with pytest.raises(TimeBudgetExceeded):
+            budget.check_time()
+
+    def test_restart_clock(self):
+        budget = Budget(max_seconds=10)
+        time.sleep(0.01)
+        before = budget.elapsed
+        budget.restart_clock()
+        assert budget.elapsed < before
+
+
+SRC = """
+fun f(a) {
+  p = null;
+  if (a > 20) { deref(p); }
+  q = null;
+  if (a < 10) { deref(q); }
+  return 0;
+}
+"""
+
+
+def make_driver_run(solve_fn, **kwargs):
+    pdg = prepare_pdg(compile_source(SRC))
+    return run_analysis(pdg, NullDereferenceChecker(), "test-engine",
+                        solve_fn, lambda: (123, 45), **kwargs)
+
+
+class TestDriver:
+    def test_counts_candidates_and_queries(self):
+        result = make_driver_run(lambda c: SmtResult(SmtStatus.SAT))
+        assert result.candidates == 2
+        assert result.smt_queries == 2
+        assert len(result.bugs) == 2
+
+    def test_unsat_filters_reports(self):
+        result = make_driver_run(lambda c: SmtResult(SmtStatus.UNSAT))
+        assert result.bugs == []
+        assert len(result.reports) == 2
+
+    def test_unknown_is_reported_soundy(self):
+        # A query that exhausts its budget is reported as a potential bug
+        # (the bug-finding convention: timeouts do not suppress reports).
+        result = make_driver_run(lambda c: SmtResult(SmtStatus.UNKNOWN))
+        assert len(result.bugs) == 2
+
+    def test_memory_snapshot_recorded(self):
+        result = make_driver_run(lambda c: SmtResult(SmtStatus.SAT))
+        assert result.memory_units == 123
+        assert result.condition_memory_units == 45
+
+    def test_solver_exception_becomes_failure(self):
+        def explode(candidate):
+            raise MemoryBudgetExceeded("boom")
+
+        result = make_driver_run(explode)
+        assert result.failure == "memory"
+
+    def test_time_budget_enforced_between_queries(self):
+        def slow(candidate):
+            time.sleep(0.05)
+            return SmtResult(SmtStatus.SAT)
+
+        result = make_driver_run(slow, budget=Budget(max_seconds=0.01))
+        assert result.failure == "time"
+        # Partial results are preserved.
+        assert result.smt_queries >= 1
+
+    def test_preprocess_decisions_counted(self):
+        result = make_driver_run(
+            lambda c: SmtResult(SmtStatus.SAT, decided_in_preprocess=True))
+        assert result.decided_in_preprocess == 2
+
+    def test_query_records_collected(self):
+        records = []
+        make_driver_run(lambda c: SmtResult(SmtStatus.SAT),
+                        query_records=records)
+        assert len(records) == 2
+        assert all(r.status is SmtStatus.SAT for r in records)

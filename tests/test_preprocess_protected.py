@@ -1,0 +1,140 @@
+"""Tests for preprocessing with protected interface variables.
+
+Algorithm 6 preprocesses per-function templates whose params, returns,
+receivers, and branch conditions are referenced by *other* templates'
+bindings and by requirements — the pipeline must simplify around them
+without eliminating them.
+"""
+
+import pytest
+
+from repro.smt import (Preprocessor, TermManager, Verdict, evaluate)
+
+
+@pytest.fixture
+def mgr():
+    return TermManager()
+
+
+def run(mgr, constraints, protected, **kwargs):
+    return Preprocessor(mgr, protected=protected, **kwargs).run(constraints)
+
+
+class TestEqualityProtection:
+    def test_protected_var_not_substituted_away(self, mgr):
+        x, ret = mgr.bv_var("x", 8), mgr.bv_var("ret", 8)
+        # The template: ret = x * 2 via an intermediate.
+        y = mgr.bv_var("y", 8)
+        constraints = [
+            mgr.eq(y, mgr.bvmul(x, mgr.bv_const(2, 8))),
+            mgr.eq(ret, y),
+        ]
+        result = run(mgr, constraints, protected={x, ret})
+        # y is eliminated; the relation between ret and x survives.
+        residual_vars = set()
+        for c in result.constraints:
+            residual_vars |= {v.name for v in c.free_vars()}
+        assert "ret" in residual_vars and "x" in residual_vars
+        assert "y" not in residual_vars
+
+    def test_unprotected_behaviour_unchanged(self, mgr):
+        x, y = mgr.bv_var("x", 8), mgr.bv_var("y", 8)
+        result = run(mgr, [mgr.eq(y, x)], protected=set())
+        assert result.constraints == []
+
+
+class TestConstantProtection:
+    def test_protected_constant_binding_kept(self, mgr):
+        ret = mgr.bv_var("ret", 8)
+        result = run(mgr, [mgr.eq(ret, mgr.bv_const(7, 8))],
+                     protected={ret})
+        # The binding must survive for external consumers of `ret`.
+        assert len(result.constraints) == 1
+        assert result.verdict is Verdict.UNKNOWN
+
+    def test_protected_bool_assertion_kept(self, mgr):
+        cond = mgr.bool_var("cond")
+        result = run(mgr, [cond], protected={cond})
+        assert result.constraints == [cond]
+
+
+class TestUnconstrainedProtection:
+    def test_protected_var_never_treated_unconstrained(self, mgr):
+        param = mgr.bv_var("param", 8)
+        other = mgr.bv_var("other", 8)
+        # param + other == 0 would normally fall to unconstrained
+        # elimination via either operand; with both protected it must stay.
+        constraint = mgr.eq(mgr.bvadd(param, other), mgr.bv_const(0, 8))
+        result = run(mgr, [constraint], protected={param, other},
+                     enabled=("unconstrained",))
+        assert result.verdict is Verdict.UNKNOWN
+        assert len(result.constraints) == 1
+
+    def test_unprotected_side_still_eliminated(self, mgr):
+        param = mgr.bv_var("param", 8)
+        temp = mgr.bv_var("temp", 8)
+        constraint = mgr.eq(mgr.bvadd(param, temp), mgr.bv_const(0, 8))
+        result = run(mgr, [constraint], protected={param},
+                     enabled=("unconstrained", "constants"))
+        # temp is free to absorb the constraint: decided SAT (the final
+        # asserted fresh boolean is discharged by constant propagation).
+        assert result.verdict is Verdict.SAT
+
+
+class TestGaussianProtection:
+    def test_pivot_never_protected(self, mgr):
+        ret = mgr.bv_var("ret", 8)
+        x = mgr.bv_var("x", 8)
+        # ret + x = 5 with ret protected: the solver must pivot on x.
+        constraint = mgr.eq(mgr.bvadd(ret, x), mgr.bv_const(5, 8))
+        result = run(mgr, [constraint], protected={ret},
+                     enabled=("gaussian",))
+        residual_vars = set()
+        for c in result.constraints:
+            residual_vars |= {v.name for v in c.free_vars()}
+        assert "x" not in residual_vars or "ret" in residual_vars
+
+    def test_fully_protected_row_kept(self, mgr):
+        a, b = mgr.bv_var("a", 8), mgr.bv_var("b", 8)
+        constraint = mgr.eq(mgr.bvadd(a, b), mgr.bv_const(5, 8))
+        result = run(mgr, [constraint], protected={a, b},
+                     enabled=("gaussian",))
+        assert len(result.constraints) == 1
+
+
+class TestProbingProtection:
+    def test_isolated_but_protected_constraint_kept(self, mgr):
+        a, b = mgr.bv_var("a", 8), mgr.bv_var("b", 8)
+        constraint = mgr.slt(a, b)
+        result = run(mgr, [constraint], protected={a, b},
+                     enabled=("probing",))
+        assert result.constraints == [constraint]
+
+    def test_isolated_unprotected_constraint_probed(self, mgr):
+        a, b = mgr.bv_var("a", 8), mgr.bv_var("b", 8)
+        result = run(mgr, [mgr.slt(a, b)], protected=set(),
+                     enabled=("probing",))
+        assert result.verdict is Verdict.SAT
+        model = result.complete_model({})
+        assert evaluate(mgr.slt(a, b), model) == 1
+
+
+class TestEndToEndTemplateShape:
+    def test_bar_template_reduces_to_quickpath_relation(self, mgr):
+        """The paper's bar: local preprocessing with protected interface
+        collapses y/z but keeps ret expressed over x."""
+        x = mgr.bv_var("bar::x", 8)
+        y = mgr.bv_var("bar::y", 8)
+        z = mgr.bv_var("bar::z", 8)
+        ret = mgr.bv_var("bar::%ret", 8)
+        constraints = [
+            mgr.eq(y, mgr.bvmul(x, mgr.bv_const(2, 8))),
+            mgr.eq(z, y),
+            mgr.eq(ret, z),
+        ]
+        result = run(mgr, constraints, protected={x, ret})
+        # One surviving relation tying ret to x (e.g. ret = 2x).
+        assert len(result.constraints) == 1
+        [relation] = result.constraints
+        names = {v.name for v in relation.free_vars()}
+        assert names == {"bar::x", "bar::%ret"}

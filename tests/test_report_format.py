@@ -1,0 +1,101 @@
+"""Tests for the human-readable report renderer."""
+
+import pytest
+
+from repro.checkers import NullDereferenceChecker
+from repro.checkers.format import (format_guards, format_report,
+                                   format_results, format_trace,
+                                   format_witness)
+from repro.fusion import (FusionConfig, FusionEngine, GraphSolverConfig,
+                          prepare_pdg)
+from repro.lang import compile_source
+
+SRC = """
+fun make() {
+  p = null;
+  return p;
+}
+fun top(a) {
+  r = make();
+  if (a > 9) {
+    deref(r);
+  }
+  return 0;
+}
+fun clean(a) {
+  q = null;
+  if (a != a) { deref(q); }
+  return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def scan():
+    pdg = prepare_pdg(compile_source(SRC))
+    config = FusionConfig(solver=GraphSolverConfig(want_model=True))
+    result = FusionEngine(pdg, config).analyze(NullDereferenceChecker())
+    return pdg, result
+
+
+class TestTrace:
+    def test_trace_groups_by_function(self, scan):
+        pdg, result = scan
+        report = next(r for r in result.bugs
+                      if r.source.function == "make")
+        trace = format_trace(report)
+        assert "in make()" in trace and "in top()" in trace
+        assert trace.index("in make()") < trace.index("in top()")
+
+    def test_trace_lists_statements(self, scan):
+        pdg, result = scan
+        report = result.bugs[0]
+        assert "p = null" in format_trace(report)
+
+
+class TestGuards:
+    def test_guard_condition_listed(self, scan):
+        pdg, result = scan
+        report = next(r for r in result.bugs
+                      if r.source.function == "make")
+        guards = format_guards(pdg, report)
+        assert "== true" in guards
+        assert "top" in guards
+
+    def test_unconditional_flow(self):
+        pdg = prepare_pdg(compile_source(
+            "fun f() { p = null; deref(p); return 0; }"))
+        result = FusionEngine(pdg).analyze(NullDereferenceChecker())
+        assert "unconditional" in format_guards(pdg, result.bugs[0])
+
+
+class TestFullReport:
+    def test_report_structure(self, scan):
+        pdg, result = scan
+        text = format_report(pdg, result.bugs[0], index=1)
+        assert text.startswith("#1 Null pointer dereference")
+        assert "source:" in text and "sink:" in text
+        assert "trace:" in text and "feasibility:" in text
+
+    def test_witness_included_when_available(self, scan):
+        pdg, result = scan
+        report = next(r for r in result.bugs
+                      if r.source.function == "make")
+        assert report.witness
+        assert "witness:" in format_witness(report)
+
+    def test_results_header_counts(self, scan):
+        pdg, result = scan
+        text = format_results(pdg, result)
+        assert "1 finding(s)" in text
+        assert "2 candidate flow(s)" in text
+
+    def test_infeasible_shown_on_request(self, scan):
+        pdg, result = scan
+        text = format_results(pdg, result, include_infeasible=True)
+        assert "[INFEASIBLE — filtered]" in text
+
+    def test_no_findings_message(self):
+        pdg = prepare_pdg(compile_source("fun f(a) { return a; }"))
+        result = FusionEngine(pdg).analyze(NullDereferenceChecker())
+        assert "no findings" in format_results(pdg, result)

@@ -1,0 +1,191 @@
+"""Unit and property tests for the bit-blaster.
+
+The oracle is the concrete evaluator: a Boolean term is valid iff its
+negation bit-blasts to an UNSAT CNF, and any SAT model read back through
+``model_value`` must satisfy the term under ``evaluate``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.smt import BitBlaster, SatStatus, TermManager, evaluate
+from strategies import bool_terms, make_manager
+
+
+@pytest.fixture
+def mgr():
+    return TermManager()
+
+
+def is_valid(mgr, term):
+    blaster = BitBlaster()
+    blaster.assert_true(mgr.not_(term))
+    return blaster.solve().status is SatStatus.UNSAT
+
+
+def is_sat(mgr, term):
+    blaster = BitBlaster()
+    blaster.assert_true(term)
+    result = blaster.solve()
+    if result.status is SatStatus.SAT:
+        return True, blaster, result
+    return False, blaster, result
+
+
+class TestBooleanLayer:
+    def test_tautology(self, mgr):
+        p = mgr.bool_var("p")
+        assert is_valid(mgr, mgr.or_(p, mgr.not_(p)))
+
+    def test_contradiction(self, mgr):
+        p = mgr.bool_var("p")
+        sat, _, _ = is_sat(mgr, mgr.and_(p, mgr.not_(p)))
+        assert not sat
+
+    def test_demorgan(self, mgr):
+        p, q = mgr.bool_var("p"), mgr.bool_var("q")
+        lhs = mgr.not_(mgr.and_(p, q))
+        rhs = mgr.or_(mgr.not_(p), mgr.not_(q))
+        assert is_valid(mgr, mgr.eq(lhs, rhs))
+
+    def test_implies_definition(self, mgr):
+        p, q = mgr.bool_var("p"), mgr.bool_var("q")
+        assert is_valid(mgr, mgr.eq(mgr.implies(p, q),
+                                    mgr.or_(mgr.not_(p), q)))
+
+
+class TestArithmeticCircuits:
+    def test_add_commutes(self, mgr):
+        x, y = mgr.bv_var("x", 6), mgr.bv_var("y", 6)
+        assert is_valid(mgr, mgr.eq(mgr.bvadd(x, y), mgr.bvadd(y, x)))
+
+    def test_add_concrete(self, mgr):
+        x = mgr.bv_var("x", 8)
+        constraint = mgr.eq(mgr.bvadd(x, mgr.bv_const(1, 8)),
+                            mgr.bv_const(0, 8))
+        sat, blaster, result = is_sat(mgr, constraint)
+        assert sat
+        assert blaster.model_value(x, result.model) == 255
+
+    def test_sub_inverts_add(self, mgr):
+        x, y = mgr.bv_var("x", 6), mgr.bv_var("y", 6)
+        assert is_valid(mgr, mgr.eq(mgr.bvsub(mgr.bvadd(x, y), y), x))
+
+    def test_mul_concrete(self, mgr):
+        x = mgr.bv_var("x", 8)
+        constraint = mgr.eq(mgr.bvmul(x, mgr.bv_const(3, 8)),
+                            mgr.bv_const(15, 8))
+        sat, blaster, result = is_sat(mgr, constraint)
+        assert sat
+        assert (blaster.model_value(x, result.model) * 3) % 256 == 15
+
+    def test_mul_by_two_is_shift(self, mgr):
+        x = mgr.bv_var("x", 6)
+        two = mgr.bv_const(2, 6)
+        one = mgr.bv_const(1, 6)
+        assert is_valid(mgr, mgr.eq(mgr.bvmul(x, two), mgr.bvshl(x, one)))
+
+    def test_neg_is_zero_minus(self, mgr):
+        x = mgr.bv_var("x", 6)
+        assert is_valid(mgr, mgr.eq(mgr.bvneg(x),
+                                    mgr.bvsub(mgr.bv_const(0, 6), x)))
+
+    def test_udiv_identity(self, mgr):
+        x, y = mgr.bv_var("x", 4), mgr.bv_var("y", 4)
+        q = mgr.bvudiv(x, y)
+        r = mgr.bvurem(x, y)
+        nonzero = mgr.not_(mgr.eq(y, mgr.bv_const(0, 4)))
+        identity = mgr.eq(mgr.bvadd(mgr.bvmul(q, y), r), x)
+        assert is_valid(mgr, mgr.implies(nonzero, identity))
+
+    def test_udiv_by_zero_all_ones(self, mgr):
+        x = mgr.bv_var("x", 4)
+        expr = mgr.eq(mgr.bvudiv(x, mgr.bv_const(0, 4)),
+                      mgr.bv_const(15, 4))
+        assert is_valid(mgr, expr)
+
+
+class TestComparisons:
+    def test_ult_antisymmetric(self, mgr):
+        x, y = mgr.bv_var("x", 6), mgr.bv_var("y", 6)
+        assert is_valid(mgr, mgr.not_(mgr.and_(mgr.ult(x, y), mgr.ult(y, x))))
+
+    def test_slt_signed_boundary(self, mgr):
+        x = mgr.bv_var("x", 8)
+        # x = 128 (== -128 signed) is less than 0 signed but not unsigned.
+        c128 = mgr.bv_const(128, 8)
+        zero = mgr.bv_const(0, 8)
+        assert is_valid(mgr, mgr.slt(c128, zero))
+        sat, _, _ = is_sat(mgr, mgr.ult(c128, zero))
+        assert not sat
+
+    def test_ule_total(self, mgr):
+        x, y = mgr.bv_var("x", 6), mgr.bv_var("y", 6)
+        assert is_valid(mgr, mgr.or_(mgr.ule(x, y), mgr.ule(y, x)))
+
+
+class TestShifts:
+    def test_shl_overflow_zeroes(self, mgr):
+        x = mgr.bv_var("x", 4)
+        amount = mgr.bv_const(4, 4)
+        assert is_valid(mgr, mgr.eq(mgr.bvshl(x, amount),
+                                    mgr.bv_const(0, 4)))
+
+    def test_lshr_then_shl_masks_low_bits(self, mgr):
+        x = mgr.bv_var("x", 4)
+        one = mgr.bv_const(1, 4)
+        round_trip = mgr.bvshl(mgr.bvlshr(x, one), one)
+        masked = mgr.bvand(x, mgr.bv_const(0b1110, 4))
+        assert is_valid(mgr, mgr.eq(round_trip, masked))
+
+
+class TestModelExtraction:
+    def test_model_value_bool(self, mgr):
+        p = mgr.bool_var("p")
+        sat, blaster, result = is_sat(mgr, p)
+        assert sat
+        assert blaster.model_value(p, result.model) == 1
+
+    def test_model_of_compound_term(self, mgr):
+        x = mgr.bv_var("x", 8)
+        expr = mgr.bvadd(x, x)
+        constraint = mgr.eq(expr, mgr.bv_const(10, 8))
+        sat, blaster, result = is_sat(mgr, constraint)
+        assert sat
+        assert blaster.model_value(expr, result.model) == 10
+
+    def test_assert_non_bool_rejected(self, mgr):
+        blaster = BitBlaster()
+        with pytest.raises(TypeError):
+            blaster.assert_true(mgr.bv_var("x", 4))
+
+
+class TestAgainstEvaluator:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_sat_models_satisfy_term(self, data):
+        mgr, bv_vars, bool_vars = make_manager()
+        term = data.draw(bool_terms(mgr, bv_vars, bool_vars))
+        blaster = BitBlaster()
+        blaster.assert_true(term)
+        result = blaster.solve(conflict_limit=50_000)
+        if result.status is SatStatus.SAT:
+            env = {v: blaster.model_value(v, result.model)
+                   for v in bv_vars + bool_vars}
+            assert evaluate(term, env) == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_unsat_agrees_with_concrete_witness(self, data):
+        """If the evaluator finds a witness, the blaster must say SAT."""
+        mgr, bv_vars, bool_vars = make_manager()
+        term = data.draw(bool_terms(mgr, bv_vars, bool_vars))
+        witness_env = data.draw(st.fixed_dictionaries(
+            {v: st.integers(0, 15) for v in bv_vars}
+            | {v: st.integers(0, 1) for v in bool_vars}))
+        if evaluate(term, witness_env) == 1:
+            blaster = BitBlaster()
+            blaster.assert_true(term)
+            assert blaster.solve(conflict_limit=50_000).status \
+                is SatStatus.SAT

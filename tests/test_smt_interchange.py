@@ -1,0 +1,130 @@
+"""Tests for DIMACS and SMT-LIB interchange."""
+
+import pytest
+
+from repro.smt import SatStatus, TermManager
+from repro.smt.dimacs import (DimacsError, formula_to_dimacs, parse_dimacs,
+                              solve_dimacs, write_dimacs)
+from repro.smt.smtlib import (model_to_smtlib, smtlib_symbol,
+                              term_to_smtlib, to_smtlib_script)
+
+
+@pytest.fixture
+def mgr():
+    return TermManager()
+
+
+class TestDimacsParsing:
+    def test_round_trip(self):
+        clauses = [[1, -2], [2, 3], [-1, -3]]
+        text = write_dimacs(3, clauses)
+        num_vars, parsed = parse_dimacs(text)
+        assert num_vars == 3 and parsed == clauses
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = "c a comment\n\np cnf 2 1\nc mid\n1 -2 0\n"
+        assert parse_dimacs(text) == (2, [[1, -2]])
+
+    def test_clause_spanning_lines(self):
+        text = "p cnf 3 1\n1 2\n3 0\n"
+        assert parse_dimacs(text)[1] == [[1, 2, 3]]
+
+    def test_missing_problem_line(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("1 2 0\n")
+
+    def test_literal_out_of_range(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 2 1\n5 0\n")
+
+    def test_clause_count_mismatch(self):
+        with pytest.raises(DimacsError):
+            parse_dimacs("p cnf 2 5\n1 0\n")
+
+    def test_solve_dimacs_sat(self):
+        result = solve_dimacs("p cnf 2 2\n1 2 0\n-1 0\n")
+        assert result.status is SatStatus.SAT
+        assert result.model[2] is True
+
+    def test_solve_dimacs_unsat(self):
+        result = solve_dimacs("p cnf 1 2\n1 0\n-1 0\n")
+        assert result.status is SatStatus.UNSAT
+
+    def test_formula_export_is_parseable(self, mgr):
+        x = mgr.bv_var("x", 4)
+        constraint = mgr.eq(mgr.bvadd(x, x), mgr.bv_const(6, 4))
+        text = formula_to_dimacs([constraint])
+        num_vars, clauses = parse_dimacs(text)
+        assert num_vars >= 4 and clauses
+        # The exported CNF is satisfiable (x = 3 works).
+        assert solve_dimacs(text).status is SatStatus.SAT
+
+
+class TestSmtlibExport:
+    def test_symbols_quoted_when_needed(self):
+        assert smtlib_symbol("plain_name") == "plain_name"
+        assert smtlib_symbol("f::x#f0") == "|f::x#f0|"
+        assert smtlib_symbol("0starts_digit") == "|0starts_digit|"
+
+    def test_term_rendering(self, mgr):
+        x = mgr.bv_var("x", 8)
+        term = mgr.eq(mgr.bvadd(x, mgr.bv_const(1, 8)), x)
+        assert term_to_smtlib(term) == "(= (bvadd x (_ bv1 8)) x)"
+
+    def test_bool_ops(self, mgr):
+        p, q = mgr.bool_var("p"), mgr.bool_var("q")
+        term = mgr.implies(mgr.and_(p, q), mgr.or_(p, q))
+        text = term_to_smtlib(term)
+        assert text == "(=> (and p q) (or p q))"
+
+    def test_script_declares_all_vars(self, mgr):
+        x = mgr.bv_var("x", 8)
+        p = mgr.bool_var("p")
+        script = to_smtlib_script([mgr.implies(p, mgr.ult(x, x))])
+        assert "(set-logic QF_BV)" in script
+        assert "(declare-fun p () Bool)" in script
+        assert "(declare-fun x () (_ BitVec 8))" in script
+        assert script.rstrip().endswith("(check-sat)")
+
+    def test_status_annotation(self, mgr):
+        script = to_smtlib_script([mgr.true], expected="sat")
+        assert "(set-info :status sat)" in script
+
+    def test_model_rendering(self, mgr):
+        x = mgr.bv_var("x", 8)
+        p = mgr.bool_var("p")
+        text = model_to_smtlib({x: 5, p: 1})
+        assert "(define-fun p () Bool true)" in text
+        assert "(_ bv5 8)" in text
+
+    def test_export_of_real_path_condition(self):
+        """A full engine-produced condition exports cleanly."""
+        from repro.checkers import NullDereferenceChecker
+        from repro.fusion import (ConditionTransformer, assemble_condition,
+                                  prepare_pdg)
+        from repro.lang import compile_source
+        from repro.pdg import compute_slice
+        from repro.sparse import collect_candidates
+
+        pdg = prepare_pdg(compile_source("""
+        fun f(a) {
+          p = null;
+          if (a > 20) { deref(p); }
+          return 0;
+        }
+        """))
+        [candidate] = collect_candidates(pdg, NullDereferenceChecker())
+        the_slice = compute_slice(pdg, [candidate.path])
+        transformer = ConditionTransformer(pdg)
+        needed = {fn: transformer.needed_key(the_slice, fn)
+                  for fn in the_slice.needed}
+
+        def instance(fn, skip):
+            return transformer.template(
+                fn, needed.get(fn, frozenset())).constraints
+
+        constraints = assemble_condition(transformer, [candidate.path],
+                                         the_slice, instance)
+        script = to_smtlib_script(constraints, expected="sat")
+        assert "bvsgt" not in script  # gt is encoded as flipped bvslt
+        assert "(assert" in script and "|f::a#f0|" in script

@@ -1,0 +1,128 @@
+"""Unit tests for concrete term evaluation."""
+
+import pytest
+
+from repro.smt import TermManager, evaluate, to_signed, to_unsigned
+
+
+@pytest.fixture
+def mgr():
+    return TermManager()
+
+
+class TestSignConversions:
+    @pytest.mark.parametrize("value,width,expected", [
+        (0, 8, 0), (127, 8, 127), (128, 8, -128), (255, 8, -1),
+        (7, 4, 7), (8, 4, -8), (15, 4, -1),
+    ])
+    def test_to_signed(self, value, width, expected):
+        assert to_signed(value, width) == expected
+
+    @pytest.mark.parametrize("value,width,expected", [
+        (-1, 8, 255), (256, 8, 0), (300, 8, 44), (5, 8, 5),
+    ])
+    def test_to_unsigned(self, value, width, expected):
+        assert to_unsigned(value, width) == expected
+
+
+class TestArithmetic:
+    def test_wraparound_add(self, mgr):
+        x = mgr.bv_var("x", 8)
+        expr = mgr.bvadd(x, mgr.bv_const(200, 8))
+        assert evaluate(expr, {x: 100}) == 44
+
+    def test_sub_wraps(self, mgr):
+        x = mgr.bv_var("x", 8)
+        expr = mgr.bvsub(mgr.bv_const(3, 8), x)
+        assert evaluate(expr, {x: 5}) == 254
+
+    def test_mul_wraps(self, mgr):
+        x = mgr.bv_var("x", 8)
+        assert evaluate(mgr.bvmul(x, x), {x: 20}) == (400 % 256)
+
+    def test_udiv_by_zero_is_all_ones(self, mgr):
+        x = mgr.bv_var("x", 8)
+        expr = mgr.bvudiv(x, mgr.bv_const(0, 8))
+        assert evaluate(expr, {x: 7}) == 255
+
+    def test_urem_by_zero_is_dividend(self, mgr):
+        x = mgr.bv_var("x", 8)
+        expr = mgr.bvurem(x, mgr.bv_const(0, 8))
+        assert evaluate(expr, {x: 7}) == 7
+
+    def test_udiv_urem_identity(self, mgr):
+        a, b = mgr.bv_var("a", 8), mgr.bv_var("b", 8)
+        q = evaluate(mgr.bvudiv(a, b), {a: 23, b: 5})
+        r = evaluate(mgr.bvurem(a, b), {a: 23, b: 5})
+        assert q * 5 + r == 23 and r < 5
+
+    def test_neg(self, mgr):
+        x = mgr.bv_var("x", 8)
+        assert evaluate(mgr.bvneg(x), {x: 1}) == 255
+        assert evaluate(mgr.bvneg(x), {x: 0}) == 0
+
+
+class TestShifts:
+    def test_shl_basic_and_overflow(self, mgr):
+        x, s = mgr.bv_var("x", 8), mgr.bv_var("s", 8)
+        expr = mgr.bvshl(x, s)
+        assert evaluate(expr, {x: 3, s: 2}) == 12
+        assert evaluate(expr, {x: 3, s: 8}) == 0
+        assert evaluate(expr, {x: 255, s: 1}) == 254
+
+    def test_lshr_basic_and_overflow(self, mgr):
+        x, s = mgr.bv_var("x", 8), mgr.bv_var("s", 8)
+        expr = mgr.bvlshr(x, s)
+        assert evaluate(expr, {x: 129, s: 7}) == 1
+        assert evaluate(expr, {x: 129, s: 200}) == 0
+
+
+class TestComparisons:
+    def test_signed_vs_unsigned_disagree(self, mgr):
+        a, b = mgr.bv_var("a", 8), mgr.bv_var("b", 8)
+        env = {a: 255, b: 1}  # 255 is -1 signed
+        assert evaluate(mgr.ult(a, b), env) == 0
+        assert evaluate(mgr.slt(a, b), env) == 1
+
+    def test_sle_boundary(self, mgr):
+        a, b = mgr.bv_var("a", 8), mgr.bv_var("b", 8)
+        assert evaluate(mgr.sle(a, b), {a: 128, b: 127}) == 1
+
+    def test_surface_aliases(self, mgr):
+        a, b = mgr.bv_var("a", 8), mgr.bv_var("b", 8)
+        env = {a: 3, b: 5}
+        assert evaluate(mgr.lt(a, b), env) == 1
+        assert evaluate(mgr.gt(a, b), env) == 0
+        assert evaluate(mgr.ge(b, a), env) == 1
+        assert evaluate(mgr.le(a, a), env) == 1
+
+
+class TestBooleans:
+    def test_connectives(self, mgr):
+        p, q = mgr.bool_var("p"), mgr.bool_var("q")
+        env = {p: 1, q: 0}
+        assert evaluate(mgr.and_(p, q), env) == 0
+        assert evaluate(mgr.or_(p, q), env) == 1
+        assert evaluate(mgr.xor(p, q), env) == 1
+        assert evaluate(mgr.implies(p, q), env) == 0
+        assert evaluate(mgr.implies(q, p), env) == 1
+        assert evaluate(mgr.not_(p), env) == 0
+
+    def test_ite_selects_branch(self, mgr):
+        p = mgr.bool_var("p")
+        x, y = mgr.bv_var("x", 8), mgr.bv_var("y", 8)
+        expr = mgr.ite(p, x, y)
+        assert evaluate(expr, {p: 1, x: 10, y: 20}) == 10
+        assert evaluate(expr, {p: 0, x: 10, y: 20}) == 20
+
+    def test_unassigned_variable_raises(self, mgr):
+        with pytest.raises(KeyError):
+            evaluate(mgr.bool_var("p"), {})
+
+    def test_nary_and_or(self, mgr):
+        ps = [mgr.bool_var(f"p{i}") for i in range(4)]
+        env = {p: 1 for p in ps}
+        assert evaluate(mgr.and_(*ps), env) == 1
+        env[ps[2]] = 0
+        assert evaluate(mgr.and_(*ps), env) == 0
+        assert evaluate(mgr.or_(*ps), env) == 1
