@@ -23,8 +23,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+from typing import TYPE_CHECKING
+
 from repro.checkers.base import (AnalysisResult, BugCandidate, BugReport,
                                  Checker)
+
+if TYPE_CHECKING:
+    from repro.exec.scheduler import ExecConfig
+    from repro.exec.telemetry import Telemetry
 from repro.lang.ir import (Assign, Binary, Call, Identity, IfThenElse,
                            Return, Var)
 from repro.limits import Budget, MemoryBudgetExceeded, TimeBudgetExceeded
@@ -71,7 +77,14 @@ class InferEngine:
     # Analysis
     # ------------------------------------------------------------------ #
 
-    def analyze(self, checker: Checker) -> AnalysisResult:
+    def analyze(self, checker: Checker,
+                exec_config: Optional["ExecConfig"] = None,
+                telemetry: Optional["Telemetry"] = None) -> AnalysisResult:
+        """``exec_config`` is accepted for interface parity with the
+        path-sensitive engines but ignored: the summary computation is a
+        bottom-up fixpoint over the call DAG, not a bag of independent
+        feasibility queries, so there is nothing to batch.  Telemetry
+        still records wall time and memory."""
         from repro.pdg.callgraph import CallGraph
 
         budget = self.config.budget if self.config.budget is not None \
@@ -79,6 +92,9 @@ class InferEngine:
         budget.restart_clock()
         start = time.perf_counter()
         result = AnalysisResult(self.name, checker.name)
+        if telemetry is not None:
+            telemetry.annotate(engine=self.name, checker=checker.name,
+                               jobs=1, backend="serial")
 
         source_ids = {v.index for v in checker.sources(self.pdg)}
         sink_names = self._sink_names(checker)
@@ -108,6 +124,10 @@ class InferEngine:
         result.candidates = len(result.reports)
         result.memory_units = self._memory_units()
         result.wall_time = time.perf_counter() - start
+        if telemetry is not None:
+            telemetry.record_memory(result.memory_units,
+                                    result.condition_memory_units)
+            telemetry.set_wall_seconds(result.wall_time)
         return result
 
     # ------------------------------------------------------------------ #

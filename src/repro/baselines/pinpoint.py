@@ -22,10 +22,14 @@ evaluates in Section 5.1:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
 from repro.checkers.base import AnalysisResult, BugCandidate, Checker
+from repro.exec.cache import SliceCache
+from repro.exec.scheduler import (ExecConfig, ExecutionPlan, QueryFn,
+                                  WorkerSpec)
+from repro.exec.telemetry import Telemetry
 from repro.fusion.instantiate import assemble_condition
 from repro.fusion.transform import ConditionTransformer
 from repro.limits import Budget
@@ -115,17 +119,51 @@ class PinpointEngine:
     # Analysis
     # ------------------------------------------------------------------ #
 
-    def analyze(self, checker: Checker) -> AnalysisResult:
-        def solve(candidate: BugCandidate) -> SmtResult:
-            the_slice = compute_slice(self.pdg, [candidate.path])
-            if self.config.abstraction_refinement:
-                return self._solve_with_refinement(candidate, the_slice)
-            constraints = self._full_condition(candidate, the_slice)
-            return self.smt.check(constraints)
+    def analyze(self, checker: Checker,
+                exec_config: Optional[ExecConfig] = None,
+                telemetry: Optional[Telemetry] = None) -> AnalysisResult:
+        """Run the checker; ``exec_config`` opts into the query-execution
+        layer (slice memoization, ``jobs > 1`` worker pools, telemetry).
+        With neither argument the seed sequential path runs untouched."""
+        cache = None
+        if exec_config is not None and exec_config.effective_jobs <= 1:
+            cache = SliceCache(exec_config.slice_cache_capacity)
 
-        return run_analysis(self.pdg, checker, self.name, solve,
-                            self._memory_snapshot, self.config.budget,
-                            self.config.sparse, self.query_records)
+        def solve(candidate: BugCandidate) -> SmtResult:
+            if cache is not None:
+                the_slice = cache.get(self.pdg, [candidate.path])
+            else:
+                the_slice = compute_slice(self.pdg, [candidate.path])
+            return self._solve_one(candidate, the_slice)
+
+        execution = None
+        if exec_config is not None or telemetry is not None:
+            config = exec_config if exec_config is not None \
+                else ExecConfig()
+            spec = None
+            if config.effective_jobs > 1:
+                spec = WorkerSpec(self.pdg, checker, self.config.sparse,
+                                  pinpoint_query_factory,
+                                  replace(self.config, budget=None))
+            execution = ExecutionPlan(config, spec, telemetry)
+
+        result = run_analysis(self.pdg, checker, self.name, solve,
+                              self._memory_snapshot, self.config.budget,
+                              self.config.sparse, self.query_records,
+                              execution=execution)
+        if cache is not None and telemetry is not None:
+            hits, misses, evictions = cache.counters()
+            telemetry.record_cache("slice", hits, misses, evictions,
+                                   capacity=cache.capacity)
+        return result
+
+    def _solve_one(self, candidate: BugCandidate,
+                   the_slice: Slice) -> SmtResult:
+        """Decide one candidate against an already-computed slice."""
+        if self.config.abstraction_refinement:
+            return self._solve_with_refinement(candidate, the_slice)
+        constraints = self._full_condition(candidate, the_slice)
+        return self.smt.check(constraints)
 
     def _full_condition(self, candidate: BugCandidate,
                         the_slice: Slice,
@@ -207,6 +245,26 @@ class PinpointEngine:
         graph = self.pdg.num_vertices + self.pdg.num_edges
         conditions = self.cached_condition_nodes + self.peak_condition_nodes
         return graph + conditions, conditions
+
+
+def pinpoint_query_factory(pdg: ProgramDependenceGraph,
+                           config: PinpointConfig) -> QueryFn:
+    """Per-query pure solver for the scheduler's workers.
+
+    A fresh engine per query keeps the outcome a function of ``(pdg,
+    candidate, config)`` alone.  Each worker query re-expands its own
+    summaries (no cross-query summary cache), which is the honest
+    per-process memory story: cloned-condition caches do not share pages
+    across workers any more than Pinpoint's do across machines.
+    """
+
+    def query(candidate: BugCandidate, the_slice: Slice) \
+            -> tuple[SmtResult, tuple[int, int]]:
+        engine = PinpointEngine(pdg, config)
+        result = engine._solve_one(candidate, the_slice)
+        return result, engine._memory_snapshot()
+
+    return query
 
 
 # --------------------------------------------------------------------- #

@@ -20,6 +20,8 @@ from repro.bench.subjects import materialize
 from repro.checkers.base import AnalysisResult, Checker
 from repro.checkers.nullderef import NullDereferenceChecker
 from repro.checkers.taint import cwe23_checker, cwe402_checker
+from repro.exec.scheduler import ExecConfig
+from repro.exec.telemetry import Telemetry
 from repro.fusion.engine import FusionConfig, FusionEngine, prepare_pdg
 from repro.fusion.graph_solver import GraphSolverConfig
 from repro.limits import Budget
@@ -94,15 +96,29 @@ def make_engine(engine: str, pdg: ProgramDependenceGraph,
 
 def run_engine(subject_name: str, engine: str, checker_name: str,
                time_budget: float = DEFAULT_TIME_BUDGET,
-               memory_budget: int = DEFAULT_MEMORY_BUDGET) -> RunOutcome:
-    """Run one (engine, checker) pair on one subject."""
+               memory_budget: int = DEFAULT_MEMORY_BUDGET,
+               jobs: int = 1, backend: str = "auto",
+               telemetry: Optional[Telemetry] = None) -> RunOutcome:
+    """Run one (engine, checker) pair on one subject.
+
+    ``jobs=1`` (the default) is the seed sequential path — benchmark
+    numbers for Table 3 / Figure 11 are unchanged.  ``jobs > 1`` routes
+    feasibility queries through the :mod:`repro.exec` scheduler.
+    """
     subject = materialize(subject_name)
     pdg = pdg_for(subject_name)
     budget = Budget(max_seconds=time_budget,
                     max_memory_units=memory_budget)
     engine_obj = make_engine(engine, pdg, budget)
     checker: Checker = CHECKERS[checker_name]()
-    result = engine_obj.analyze(checker)
+    if jobs == 1 and backend == "auto" and telemetry is None:
+        result = engine_obj.analyze(checker)
+    else:
+        exec_config = ExecConfig(jobs=jobs, backend=backend)
+        result = engine_obj.analyze(checker, exec_config=exec_config,
+                                    telemetry=telemetry)
+    if telemetry is not None:
+        telemetry.annotate(subject=subject_name)
     precision = evaluate_reports(subject, result)
     records = getattr(engine_obj, "query_records", [])
     return RunOutcome(subject_name, engine, checker_name, result, precision,

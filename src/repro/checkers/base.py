@@ -104,6 +104,10 @@ class AnalysisResult:
     candidates: int = 0
     smt_queries: int = 0
     decided_in_preprocess: int = 0
+    #: Queries the solver gave up on (resource limit).  Soundy bug-finding
+    #: still reports them as feasible, but they are tracked separately so
+    #: budget-sensitivity sweeps can tell "proven" from "assumed" bugs.
+    unknown_queries: int = 0
     wall_time: float = 0.0
     #: Deterministic memory model: live term-DAG nodes, cached summary
     #: nodes, and graph size (see repro.limits.Budget for rationale).
@@ -117,7 +121,9 @@ class AnalysisResult:
 
     def summary(self) -> str:
         status = self.failure if self.failure else "ok"
+        unknown = f", {self.unknown_queries} unknown" \
+            if self.unknown_queries else ""
         return (f"{self.engine}/{self.checker}: {len(self.bugs)} bugs / "
-                f"{self.candidates} candidates, {self.smt_queries} queries, "
-                f"{self.wall_time:.2f}s, {self.memory_units} mem units "
-                f"[{status}]")
+                f"{self.candidates} candidates, {self.smt_queries} queries"
+                f"{unknown}, {self.wall_time:.2f}s, "
+                f"{self.memory_units} mem units [{status}]")

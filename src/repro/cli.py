@@ -74,8 +74,41 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--checker", default="null-deref",
                        choices=sorted(CHECKER_FACTORIES))
     bench.add_argument("--time-budget", type=float, default=120.0)
+    _add_exec_arguments(bench)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="analyse a registry subject or source file with the "
+             "query-execution layer (parallel jobs, slice memo, telemetry)")
+    analyze.add_argument("--subject", required=True,
+                         help="registry subject id/name, or a path to a "
+                              "small-language source file")
+    analyze.add_argument("--checker", default="null-deref",
+                         choices=sorted(CHECKER_FACTORIES))
+    analyze.add_argument("--engine", default="fusion",
+                         choices=ENGINE_CHOICES)
+    analyze.add_argument("--json", action="store_true", dest="as_json",
+                         help="machine-readable findings on stdout")
+    _add_exec_arguments(analyze)
 
     return parser
+
+
+def _add_exec_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags for the repro.exec query-execution layer (shared by the
+    ``analyze`` and ``bench`` subcommands)."""
+    from repro.exec import BACKENDS
+
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker pool size; 1 = seed sequential path "
+                             "(default 1)")
+    parser.add_argument("--backend", default="auto", choices=BACKENDS,
+                        help="worker pool flavor (default auto: process "
+                             "when fork is available, else thread)")
+    parser.add_argument("--batch-size", type=int, default=0,
+                        help="queries per worker batch; 0 = auto")
+    parser.add_argument("--telemetry", metavar="FILE",
+                        help="write structured run telemetry as JSON")
 
 
 def _make_engine(name: str, pdg, want_model: bool):
@@ -173,19 +206,112 @@ def cmd_subjects(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _exec_options(args: argparse.Namespace):
+    """(ExecConfig | None, Telemetry | None) from the shared exec flags."""
+    from repro.exec import ExecConfig, Telemetry
+
+    telemetry = Telemetry() if args.telemetry else None
+    plain = (args.jobs == 1 and args.backend == "auto"
+             and args.batch_size == 0)
+    if plain and telemetry is None:
+        return None, None
+    return ExecConfig(jobs=args.jobs, backend=args.backend,
+                      batch_size=args.batch_size), telemetry
+
+
+def _write_telemetry(args: argparse.Namespace, telemetry) -> bool:
+    if telemetry is None or not args.telemetry:
+        return True
+    try:
+        telemetry.write(args.telemetry)
+    except OSError as error:
+        print(f"repro: cannot write telemetry to {args.telemetry!r}: "
+              f"{error}", file=sys.stderr)
+        return False
+    return True
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import run_engine
 
+    _, telemetry = _exec_options(args)
     outcome = run_engine(args.subject, args.engine, args.checker,
-                         time_budget=args.time_budget)
+                         time_budget=args.time_budget,
+                         jobs=args.jobs, backend=args.backend,
+                         telemetry=telemetry)
     print(json.dumps(outcome.row(), indent=2))
+    if not _write_telemetry(args, telemetry):
+        return 2
     return 0 if outcome.failed is None else 2
+
+
+def _resolve_subject_program(name: str):
+    """A registry subject id/name, or a path to a source file."""
+    import os
+
+    if os.path.exists(name):
+        with open(name) as handle:
+            return compile_source(handle.read(), LoweringConfig())
+    from repro.bench.subjects import materialize
+
+    try:
+        return materialize(name).program
+    except KeyError:
+        raise SystemExit(
+            f"repro analyze: unknown subject {name!r} — not a registry "
+            f"subject (see `repro subjects`) and no such file")
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    exec_config, telemetry = _exec_options(args)
+    program = _resolve_subject_program(args.subject)
+    pdg = prepare_pdg(program)
+    engine = _make_engine(args.engine, pdg, want_model=True)
+    checker = CHECKER_FACTORIES[args.checker]()
+    result = engine.analyze(checker, exec_config=exec_config,
+                            telemetry=telemetry)
+
+    if args.as_json:
+        payload = {
+            "engine": args.engine,
+            "checker": args.checker,
+            "subject": args.subject,
+            "jobs": args.jobs,
+            "summary": result.summary(),
+            "findings": [
+                {
+                    "feasible": report.feasible,
+                    "source_function": report.source.function,
+                    "source": repr(report.source.stmt),
+                    "sink_function": report.sink.function,
+                    "sink": repr(report.sink.stmt),
+                    "witness": report.witness,
+                }
+                for report in result.reports
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(result.summary())
+        for report in result.reports:
+            if not report.feasible:
+                continue
+            print(f"[BUG] {args.checker}: "
+                  f"{report.source.function}: {report.source.stmt!r}")
+            print(f"      -> {report.sink.function}: {report.sink.stmt!r}")
+            if report.witness:
+                pairs = ", ".join(f"{k}={v}"
+                                  for k, v in report.witness.items())
+                print(f"      witness: {pairs}")
+    if not _write_telemetry(args, telemetry):
+        return 2
+    return 0 if result.failure is None else 2
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"scan": cmd_scan, "subjects": cmd_subjects,
-                "bench": cmd_bench}
+                "bench": cmd_bench, "analyze": cmd_analyze}
     return handlers[args.command](args)
 
 

@@ -1,0 +1,15 @@
+"""Query-execution layer: parallel batched solving, slice memoization,
+and analysis telemetry (see ``docs/parallelism.md``)."""
+
+from repro.exec.cache import SliceCache, path_fingerprint
+from repro.exec.scheduler import (BACKENDS, ExecConfig, ExecutionPlan,
+                                  QueryOutcome, QueryScheduler, WorkerSpec)
+from repro.exec.telemetry import SCHEMA as TELEMETRY_SCHEMA
+from repro.exec.telemetry import Telemetry
+
+__all__ = [
+    "SliceCache", "path_fingerprint",
+    "BACKENDS", "ExecConfig", "ExecutionPlan", "QueryOutcome",
+    "QueryScheduler", "WorkerSpec",
+    "Telemetry", "TELEMETRY_SCHEMA",
+]

@@ -1,0 +1,364 @@
+"""Parallel batched feasibility solving over a worker pool.
+
+The scheduler turns the driver's per-candidate solve loop into batched
+query execution: candidates are partitioned into index batches and
+dispatched over a ``concurrent.futures`` pool, thread- or process-backed.
+Results are keyed by candidate index, so the assembled report list is
+**deterministic regardless of completion order**.
+
+Determinism of the *verdicts* rests on a stronger property that the
+differential test suite (`tests/test_parallel_driver.py`) enforces: each
+query is solved as a pure function of ``(PDG, candidate, engine config)``
+— a worker builds a fresh engine (fresh term manager) per query, so a
+query's outcome cannot depend on which other queries ran before it, on
+which worker it landed, or on how many workers there are.  Feasibility
+statuses, preprocess decisions and program-variable witnesses then match
+the seed sequential driver exactly; only solver-internal choice variables
+(``!k*``, filtered from witnesses) ever differed, see
+``docs/parallelism.md``.
+
+Worker model:
+
+* **thread** — workers share the parent's PDG, candidate list and one
+  lock-protected :class:`~repro.exec.cache.SliceCache`.  Useful for
+  differential testing and on platforms without ``fork``; the GIL limits
+  CPU parallelism.
+* **process** — each worker process receives the pickled
+  :class:`WorkerSpec` once (pool initializer), rebuilds the PDG and
+  re-collects the candidate list (collection is deterministic, so indices
+  agree with the parent), and keeps a private slice cache.  Batches move
+  only candidate *indices* and compact :class:`QueryOutcome` records
+  across the process boundary.
+
+Budgets are enforced at batch granularity by the completion loop; the
+spec shipped to workers carries no budget (a worker cannot see the whole
+run's clock).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import time
+from concurrent.futures import (FIRST_COMPLETED, Executor,
+                                ProcessPoolExecutor, ThreadPoolExecutor,
+                                wait)
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.checkers.base import BugCandidate, Checker
+from repro.exec.cache import SliceCache
+from repro.exec.telemetry import Telemetry
+from repro.limits import Budget
+from repro.pdg.graph import ProgramDependenceGraph
+from repro.pdg.slicing import Slice
+from repro.smt.solver import SmtResult, SmtStatus
+from repro.sparse.driver import public_witness
+from repro.sparse.engine import SparseConfig, collect_candidates
+
+#: A per-query pure solver: ``(candidate, slice) -> (result, (total
+#: memory units, condition memory units))``.  Factories return one; the
+#: contract is that every call builds fresh solver state, so the outcome
+#: is independent of call order (the determinism guarantee).
+QueryFn = Callable[[BugCandidate, Slice], tuple[SmtResult, tuple[int, int]]]
+
+#: ``(pdg, factory_config) -> QueryFn`` — must be a module-level function
+#: so the process backend can pickle it by reference.
+QueryFactory = Callable[[ProgramDependenceGraph, object], QueryFn]
+
+BACKENDS = ("auto", "serial", "thread", "process")
+
+_HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+
+@dataclass
+class ExecConfig:
+    """Query-execution knobs (``repro analyze --jobs N --backend B``)."""
+
+    jobs: int = 1
+    backend: str = "auto"       # auto | serial | thread | process
+    batch_size: int = 0         # 0 = derive from jobs and candidate count
+    slice_cache_capacity: Optional[int] = 256
+
+    def resolved_backend(self) -> str:
+        if self.backend == "auto":
+            return "process" if _HAS_FORK else "thread"
+        if self.backend not in BACKENDS:
+            raise ValueError(f"unknown exec backend {self.backend!r}")
+        return self.backend
+
+    @property
+    def effective_jobs(self) -> int:
+        """Worker count after the ``serial`` override."""
+        if self.backend == "serial":
+            return 1
+        return max(1, self.jobs)
+
+
+@dataclass
+class WorkerSpec:
+    """Everything a worker needs to rebuild per-query solver state.
+
+    Must be picklable for the process backend: the PDG, checker and
+    configs round-trip by value, ``query_factory`` by module reference.
+    """
+
+    pdg: ProgramDependenceGraph
+    checker: Checker
+    sparse: Optional[SparseConfig]
+    query_factory: QueryFactory
+    factory_config: object
+
+
+@dataclass
+class QueryOutcome:
+    """One solved query, in transport form (picklable, index-keyed)."""
+
+    index: int
+    status: SmtStatus
+    decided_in_preprocess: bool
+    seconds: float
+    condition_nodes: int
+    #: Program-variable witness (solver-internal ``!`` names excluded).
+    witness: dict[str, int]
+    memory_units: int
+    condition_memory_units: int
+
+    @property
+    def feasible(self) -> bool:
+        # Soundy convention (matches the sequential driver): only a
+        # proven-UNSAT path condition suppresses the report.
+        return self.status is not SmtStatus.UNSAT
+
+
+@dataclass
+class ExecutionPlan:
+    """Bundle handed to ``run_analysis``: config + worker recipe +
+    telemetry sink.  ``spec=None`` means telemetry-only instrumentation
+    of the sequential path (no parallel capability)."""
+
+    config: ExecConfig
+    spec: Optional[WorkerSpec] = None
+    telemetry: Optional[Telemetry] = None
+
+    @property
+    def parallel_jobs(self) -> int:
+        if self.spec is None:
+            return 1
+        return self.config.effective_jobs
+
+    def make_scheduler(self, budget: Optional[Budget]) -> "QueryScheduler":
+        assert self.spec is not None
+        return QueryScheduler(self.spec, self.config, self.telemetry,
+                              budget)
+
+
+class _WorkerState:
+    """Per-worker solving state: candidates, slice cache, query function.
+
+    The thread backend builds one shared instance (candidates and cache
+    shared, fresh engine per query); the process backend builds one per
+    worker process from the pickled spec.
+    """
+
+    def __init__(self, spec: WorkerSpec,
+                 cache_capacity: Optional[int],
+                 candidates: Optional[list[BugCandidate]] = None) -> None:
+        self.pdg = spec.pdg
+        if candidates is None:
+            candidates = collect_candidates(spec.pdg, spec.checker,
+                                            spec.sparse)
+        self.candidates = candidates
+        self.cache = SliceCache(cache_capacity)
+        self.query = spec.query_factory(spec.pdg, spec.factory_config)
+
+    def solve_batch(self, indices: Sequence[int]) -> list[QueryOutcome]:
+        outcomes = []
+        for index in indices:
+            candidate = self.candidates[index]
+            start = time.perf_counter()
+            the_slice = self.cache.get(self.pdg, [candidate.path])
+            smt_result, (memory, condition_memory) = \
+                self.query(candidate, the_slice)
+            outcomes.append(QueryOutcome(
+                index, smt_result.status, smt_result.decided_in_preprocess,
+                time.perf_counter() - start, smt_result.condition_nodes,
+                public_witness(smt_result.model), memory,
+                condition_memory))
+        return outcomes
+
+
+# --------------------------------------------------------------------- #
+# Process-backend plumbing (module-level for picklability)
+# --------------------------------------------------------------------- #
+
+_PROCESS_STATE: Optional[_WorkerState] = None
+
+
+def _process_init(spec_bytes: bytes,
+                  cache_capacity: Optional[int]) -> None:
+    global _PROCESS_STATE
+    _PROCESS_STATE = _WorkerState(pickle.loads(spec_bytes), cache_capacity)
+
+
+def _process_batch(indices: Sequence[int]
+                   ) -> tuple[list[QueryOutcome], tuple[int, int, int]]:
+    """Solve one batch in a worker process; returns outcomes plus the
+    cache-counter delta for this batch (workers are single-threaded, so
+    before/after snapshots are exact)."""
+    state = _PROCESS_STATE
+    assert state is not None, "worker pool initializer did not run"
+    before = state.cache.counters()
+    outcomes = state.solve_batch(indices)
+    after = state.cache.counters()
+    return outcomes, tuple(a - b for a, b in zip(after, before))
+
+
+# --------------------------------------------------------------------- #
+# The scheduler
+# --------------------------------------------------------------------- #
+
+
+class QueryScheduler:
+    """Batches candidate indices and dispatches them over a worker pool."""
+
+    def __init__(self, spec: WorkerSpec, config: ExecConfig,
+                 telemetry: Optional[Telemetry] = None,
+                 budget: Optional[Budget] = None) -> None:
+        self.spec = spec
+        self.config = config
+        self.telemetry = telemetry
+        self.budget = budget
+
+    def run(self, candidates: list[BugCandidate],
+            sink: Optional[list[QueryOutcome]] = None
+            ) -> list[QueryOutcome]:
+        """Solve every candidate; outcomes are returned sorted by index.
+
+        ``sink`` (when given) receives outcomes as batches complete, so a
+        caller that observes a budget exception still sees the partial
+        results gathered before the violation.
+        """
+        outcomes = sink if sink is not None else []
+        if not candidates:
+            return outcomes
+        jobs = min(self.config.effective_jobs, len(candidates))
+        backend = self.config.resolved_backend()
+        batches = self._partition(len(candidates), jobs)
+        if self.telemetry is not None:
+            self.telemetry.annotate(jobs=jobs, backend=backend,
+                                    batches=len(batches))
+            self.telemetry.count("batches", len(batches))
+
+        if jobs == 1 and backend != "process":
+            self._run_inline(candidates, batches, outcomes)
+        elif backend == "thread":
+            self._run_thread(candidates, batches, outcomes, jobs)
+        else:
+            self._run_process(batches, outcomes, jobs)
+        outcomes.sort(key=lambda outcome: outcome.index)
+        return outcomes
+
+    # -- partitioning --------------------------------------------------- #
+
+    def _partition(self, count: int, jobs: int) -> list[list[int]]:
+        size = self.config.batch_size
+        if size <= 0:
+            # ~4 batches per worker balances load without drowning the
+            # pool in per-batch dispatch overhead.
+            size = max(1, -(-count // (jobs * 4)))
+        return [list(range(low, min(low + size, count)))
+                for low in range(0, count, size)]
+
+    # -- backends -------------------------------------------------------- #
+
+    def _run_inline(self, candidates: list[BugCandidate],
+                    batches: list[list[int]],
+                    outcomes: list[QueryOutcome]) -> None:
+        """Degenerate single-worker case, no pool (still batched so the
+        budget cadence matches the parallel backends)."""
+        state = _WorkerState(self.spec,
+                             self.config.slice_cache_capacity,
+                             candidates=candidates)
+        try:
+            for batch in batches:
+                self._absorb(state.solve_batch(batch), outcomes)
+        finally:
+            self._record_cache(state.cache)
+
+    def _run_thread(self, candidates: list[BugCandidate],
+                    batches: list[list[int]],
+                    outcomes: list[QueryOutcome], jobs: int) -> None:
+        state = _WorkerState(self.spec,
+                             self.config.slice_cache_capacity,
+                             candidates=candidates)
+        executor = ThreadPoolExecutor(max_workers=jobs,
+                                      thread_name_prefix="repro-query")
+        try:
+            self._drain(executor,
+                        [executor.submit(state.solve_batch, batch)
+                         for batch in batches],
+                        outcomes)
+        finally:
+            executor.shutdown(wait=True, cancel_futures=True)
+            self._record_cache(state.cache)
+
+    def _run_process(self, batches: list[list[int]],
+                     outcomes: list[QueryOutcome], jobs: int) -> None:
+        spec_bytes = pickle.dumps(self.spec)
+        context = multiprocessing.get_context("fork") if _HAS_FORK else None
+        executor = ProcessPoolExecutor(
+            max_workers=jobs, mp_context=context,
+            initializer=_process_init,
+            initargs=(spec_bytes, self.config.slice_cache_capacity))
+        try:
+            self._drain(executor,
+                        [executor.submit(_process_batch, batch)
+                         for batch in batches],
+                        outcomes, merge_cache_deltas=True)
+        finally:
+            # wait=True: a pool abandoned mid-shutdown races interpreter
+            # exit (its management thread writes to closed pipes).
+            executor.shutdown(wait=True, cancel_futures=True)
+
+    # -- completion loop ------------------------------------------------- #
+
+    def _drain(self, executor: Executor, futures: list,
+               outcomes: list[QueryOutcome],
+               merge_cache_deltas: bool = False) -> None:
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                result = future.result()
+                if merge_cache_deltas:
+                    batch_outcomes, (hits, misses, evictions) = result
+                    if self.telemetry is not None:
+                        self.telemetry.record_cache(
+                            "slice", hits, misses, evictions,
+                            capacity=self.config.slice_cache_capacity)
+                else:
+                    batch_outcomes = result
+                self._absorb(batch_outcomes, outcomes)
+
+    def _absorb(self, batch: list[QueryOutcome],
+                outcomes: list[QueryOutcome]) -> None:
+        outcomes.extend(batch)
+        if self.telemetry is not None:
+            for outcome in batch:
+                self.telemetry.record_query(
+                    outcome.status, outcome.seconds,
+                    outcome.decided_in_preprocess, outcome.condition_nodes)
+                self.telemetry.record_memory(outcome.memory_units,
+                                             outcome.condition_memory_units)
+        if self.budget is not None:
+            for outcome in batch:
+                self.budget.check_memory(outcome.memory_units)
+            self.budget.check_time()
+
+    def _record_cache(self, cache: SliceCache) -> None:
+        if self.telemetry is not None:
+            hits, misses, evictions = cache.counters()
+            self.telemetry.record_cache(
+                "slice", hits, misses, evictions,
+                capacity=self.config.slice_cache_capacity)

@@ -1,0 +1,140 @@
+"""Structured analysis telemetry: stage timings, counters, solver stats.
+
+One :class:`Telemetry` instance accompanies one analysis run.  The driver
+and the query scheduler feed it per-stage wall times, per-query solver
+outcomes, cache hit/miss counters and peak modeled-memory readings; the
+CLI serialises the result as JSON (``repro analyze --telemetry out.json``)
+so benchmark sweeps and regressions can be diffed mechanically.
+
+The object is thread-safe: the scheduler's worker threads and the
+completion loop record into it concurrently.  Worker *processes* record
+into their own private counters, which the scheduler merges batch by
+batch (see :mod:`repro.exec.scheduler`).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from repro.smt.solver import SmtStatus
+
+#: Schema identifier embedded in every export, bumped on layout changes.
+SCHEMA = "repro-exec-telemetry/1"
+
+
+class Telemetry:
+    """Accumulates one analysis run's timings, counters and solver stats."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.context: dict[str, object] = {}
+        self.stages: dict[str, dict[str, float]] = {}
+        self.counters: dict[str, int] = {}
+        self.queries: dict[str, float] = {
+            "total": 0, "sat": 0, "unsat": 0, "unknown": 0,
+            "decided_in_preprocess": 0, "solve_seconds": 0.0,
+            "max_condition_nodes": 0,
+        }
+        self.caches: dict[str, dict[str, int]] = {}
+        self.memory: dict[str, int] = {
+            "peak_units": 0, "peak_condition_units": 0,
+        }
+        self.wall_seconds = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    def annotate(self, **context: object) -> None:
+        """Attach run metadata (engine, checker, jobs, backend, ...)."""
+        with self._lock:
+            self.context.update(context)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time one occurrence of a named pipeline stage."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_stage(name, time.perf_counter() - start)
+
+    def add_stage(self, name: str, seconds: float, count: int = 1) -> None:
+        with self._lock:
+            entry = self.stages.setdefault(name,
+                                           {"seconds": 0.0, "count": 0})
+            entry["seconds"] += seconds
+            entry["count"] += count
+
+    def count(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
+
+    def record_query(self, status: SmtStatus, seconds: float,
+                     decided_in_preprocess: bool,
+                     condition_nodes: int) -> None:
+        """One feasibility query's outcome."""
+        with self._lock:
+            q = self.queries
+            q["total"] += 1
+            q[status.value] += 1
+            if decided_in_preprocess:
+                q["decided_in_preprocess"] += 1
+            q["solve_seconds"] += seconds
+            q["max_condition_nodes"] = max(q["max_condition_nodes"],
+                                           condition_nodes)
+
+    def record_cache(self, name: str, hits: int, misses: int,
+                     evictions: int = 0,
+                     capacity: Optional[int] = None) -> None:
+        """Accumulate hit/miss counters for one named cache."""
+        with self._lock:
+            entry = self.caches.setdefault(
+                name, {"hits": 0, "misses": 0, "evictions": 0})
+            entry["hits"] += hits
+            entry["misses"] += misses
+            entry["evictions"] += evictions
+            if capacity is not None:
+                entry["capacity"] = capacity
+
+    def record_memory(self, units: int, condition_units: int = 0) -> None:
+        """Fold one modeled-memory snapshot into the peaks."""
+        with self._lock:
+            self.memory["peak_units"] = max(self.memory["peak_units"],
+                                            units)
+            self.memory["peak_condition_units"] = max(
+                self.memory["peak_condition_units"], condition_units)
+
+    def set_wall_seconds(self, seconds: float) -> None:
+        with self._lock:
+            self.wall_seconds = seconds
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            return {
+                "schema": SCHEMA,
+                "context": dict(self.context),
+                "wall_seconds": self.wall_seconds,
+                "stages": {name: dict(entry)
+                           for name, entry in sorted(self.stages.items())},
+                "counters": dict(sorted(self.counters.items())),
+                "solver": dict(self.queries),
+                "caches": {name: dict(entry)
+                           for name, entry in sorted(self.caches.items())},
+                "memory": dict(self.memory),
+            }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=False)
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")

@@ -10,10 +10,14 @@ comes from.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.checkers.base import AnalysisResult, BugCandidate, Checker
+from repro.exec.cache import SliceCache
+from repro.exec.scheduler import (ExecConfig, ExecutionPlan, QueryFn,
+                                  WorkerSpec)
+from repro.exec.telemetry import Telemetry
 from repro.fusion.graph_solver import GraphSolverConfig, IrBasedSmtSolver
 from repro.fusion.transform import ConditionTransformer
 from repro.lang.ir import Program
@@ -39,6 +43,25 @@ def prepare_pdg(program: Program) -> ProgramDependenceGraph:
     return build_pdg(unroll_recursion(program))
 
 
+def fusion_query_factory(pdg: ProgramDependenceGraph,
+                         config: FusionConfig) -> QueryFn:
+    """Per-query pure solver for the scheduler's workers.
+
+    Each call builds a *fresh* engine (fresh term manager), making the
+    outcome a function of ``(pdg, candidate, config)`` alone — the
+    determinism contract of :mod:`repro.exec.scheduler`.  Module-level so
+    the process backend can pickle it by reference.
+    """
+
+    def query(candidate: BugCandidate, the_slice) \
+            -> tuple[SmtResult, tuple[int, int]]:
+        engine = FusionEngine(pdg, config)
+        result = engine.solver.solve([candidate.path], the_slice)
+        return result, engine._memory_snapshot()
+
+    return query
+
+
 class FusionEngine:
     """The fused path-sensitive sparse analyzer."""
 
@@ -56,14 +79,56 @@ class FusionEngine:
                                        self.config.solver)
         self.query_records: list[QueryRecord] = []
 
-    def analyze(self, checker: Checker) -> AnalysisResult:
+    def analyze(self, checker: Checker,
+                exec_config: Optional[ExecConfig] = None,
+                telemetry: Optional[Telemetry] = None) -> AnalysisResult:
+        """Run the checker; ``exec_config`` opts into the query-execution
+        layer (slice memoization, ``jobs > 1`` worker pools, telemetry).
+        With neither argument the seed sequential path runs untouched."""
+        cache = self._slice_cache(exec_config)
+
         def solve(candidate: BugCandidate) -> SmtResult:
-            the_slice = compute_slice(self.pdg, [candidate.path])
+            if cache is not None:
+                the_slice = cache.get(self.pdg, [candidate.path])
+            else:
+                the_slice = compute_slice(self.pdg, [candidate.path])
             return self.solver.solve([candidate.path], the_slice)
 
-        return run_analysis(self.pdg, checker, self.name, solve,
-                            self._memory_snapshot, self.config.budget,
-                            self.config.sparse, self.query_records)
+        execution = self._execution_plan(checker, exec_config, telemetry)
+        result = run_analysis(self.pdg, checker, self.name, solve,
+                              self._memory_snapshot, self.config.budget,
+                              self.config.sparse, self.query_records,
+                              execution=execution)
+        if cache is not None and telemetry is not None:
+            hits, misses, evictions = cache.counters()
+            telemetry.record_cache("slice", hits, misses, evictions,
+                                   capacity=cache.capacity)
+        return result
+
+    def _slice_cache(self, exec_config: Optional[ExecConfig]
+                     ) -> Optional[SliceCache]:
+        """Sequential-path slice memo (workers keep their own; see the
+        scheduler).  Only built when the caller opted into the exec layer
+        and this run will actually solve in-process."""
+        if exec_config is None or exec_config.effective_jobs > 1:
+            return None
+        return SliceCache(exec_config.slice_cache_capacity)
+
+    def _execution_plan(self, checker: Checker,
+                        exec_config: Optional[ExecConfig],
+                        telemetry: Optional[Telemetry]
+                        ) -> Optional[ExecutionPlan]:
+        if exec_config is None and telemetry is None:
+            return None
+        config = exec_config if exec_config is not None else ExecConfig()
+        spec = None
+        if config.effective_jobs > 1:
+            # Workers cannot observe the whole run's clock; the
+            # completion loop enforces the budget at batch granularity.
+            spec = WorkerSpec(self.pdg, checker, self.config.sparse,
+                              fusion_query_factory,
+                              replace(self.config, budget=None))
+        return ExecutionPlan(config, spec, telemetry)
 
     def check_simultaneous(self, paths) -> "SmtResult":
         """Decide whether several dependence paths are *simultaneously*

@@ -15,7 +15,8 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
 from repro.smt.bitblast import BitBlaster
-from repro.smt.preprocess import Preprocessor, PreprocessStats, Verdict
+from repro.smt.preprocess import (Preprocessor, PreprocessStats, Verdict,
+                                  constraint_set_size)
 from repro.smt.sat import SatStatus
 from repro.smt.terms import Term, TermManager
 
@@ -35,6 +36,9 @@ class SmtResult:
     preprocess_stats: Optional[PreprocessStats] = None
     solve_time: float = 0.0
     sat_conflicts: int = 0
+    #: Distinct term-DAG nodes in the queried constraint set (the size of
+    #: the path condition this query decided; feeds Figure 11's scatter).
+    condition_nodes: int = 0
 
     @property
     def is_sat(self) -> bool:
@@ -76,6 +80,7 @@ class SmtSolver:
         start = time.perf_counter()
         self.queries += 1
         constraints = list(constraints)
+        condition_nodes = constraint_set_size(constraints)
 
         pre_stats: Optional[PreprocessStats] = None
         completions = None
@@ -89,11 +94,13 @@ class SmtSolver:
                 self.decided_in_preprocess += 1
                 model = pre.complete_model({}) if want_model else {}
                 return SmtResult(SmtStatus.SAT, model, True, pre_stats,
-                                 time.perf_counter() - start)
+                                 time.perf_counter() - start,
+                                 condition_nodes=condition_nodes)
             if pre.verdict is Verdict.UNSAT:
                 self.decided_in_preprocess += 1
                 return SmtResult(SmtStatus.UNSAT, {}, True, pre_stats,
-                                 time.perf_counter() - start)
+                                 time.perf_counter() - start,
+                                 condition_nodes=condition_nodes)
             residual = pre.constraints
         else:
             residual = constraints
@@ -107,10 +114,12 @@ class SmtSolver:
         elapsed = time.perf_counter() - start
         if sat_result.status is SatStatus.UNKNOWN:
             return SmtResult(SmtStatus.UNKNOWN, {}, False, pre_stats, elapsed,
-                             sat_result.conflicts)
+                             sat_result.conflicts,
+                             condition_nodes=condition_nodes)
         if sat_result.status is SatStatus.UNSAT:
             return SmtResult(SmtStatus.UNSAT, {}, False, pre_stats, elapsed,
-                             sat_result.conflicts)
+                             sat_result.conflicts,
+                             condition_nodes=condition_nodes)
 
         model: dict[Term, int] = {}
         if want_model:
@@ -122,7 +131,8 @@ class SmtSolver:
             if completions is not None:
                 model = completions.complete_model(model)
         return SmtResult(SmtStatus.SAT, model, False, pre_stats, elapsed,
-                         sat_result.conflicts)
+                         sat_result.conflicts,
+                         condition_nodes=condition_nodes)
 
 
 def smt_solve(manager: TermManager, constraints: Iterable[Term],

@@ -5,13 +5,26 @@ same loop — collect candidates sparsely, then decide each candidate's path
 feasibility — and differs only in *how* feasibility is decided.  The
 driver also enforces the run's resource budget (the paper's 12 h / 100 GB
 caps) and records per-query data for the Figure 11 scatter.
+
+Since the queries are independent of one another, the driver supports two
+execution modes behind one result contract:
+
+* **sequential** (the default, and the ``jobs=1`` degenerate case) — the
+  seed loop: one engine, one solver, candidates decided in order.  All
+  Figure-11/Table-3 benchmark semantics live here, unchanged.
+* **parallel** — an :class:`~repro.exec.scheduler.ExecutionPlan` routes
+  batches of candidates through a worker pool; outcomes come back keyed
+  by candidate index, so reports are assembled in exactly the sequential
+  order regardless of completion order.  The differential suite
+  (``tests/test_parallel_driver.py``) pins both modes to byte-identical
+  report lists.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 from repro.checkers.base import (AnalysisResult, BugCandidate, BugReport,
                                  Checker)
@@ -19,7 +32,11 @@ from repro.limits import (Budget, MemoryBudgetExceeded, ResourceExceeded,
                           TimeBudgetExceeded)
 from repro.pdg.graph import ProgramDependenceGraph
 from repro.smt.solver import SmtResult, SmtStatus
+from repro.smt.terms import Term
 from repro.sparse.engine import SparseConfig, collect_candidates
+
+if TYPE_CHECKING:  # imported lazily via the plan object; no runtime cycle
+    from repro.exec.scheduler import ExecutionPlan, QueryOutcome
 
 
 @dataclass
@@ -36,44 +53,51 @@ SolveFn = Callable[[BugCandidate], SmtResult]
 MemoryFn = Callable[[], tuple[int, int]]  # (total units, condition units)
 
 
+def public_witness(model: dict[Term, int]) -> dict[str, int]:
+    """A report-ready witness: program variables only, sorted by name.
+
+    Solver-internal choice variables (``!k*``, from ``fresh_var``) are
+    dropped — their numbering depends on term-manager history, so they
+    are the one model component that is not a pure function of the query.
+    Every rendering path (CLI, report formatter) already excluded them.
+    """
+    return {var.name: value
+            for var, value in sorted(model.items(),
+                                     key=lambda item: item[0].name)
+            if not var.name.startswith("!")}
+
+
 def run_analysis(pdg: ProgramDependenceGraph, checker: Checker,
                  engine_name: str, solve_candidate: SolveFn,
                  memory_snapshot: MemoryFn,
                  budget: Optional[Budget] = None,
                  sparse_config: Optional[SparseConfig] = None,
-                 query_records: Optional[list[QueryRecord]] = None
+                 query_records: Optional[list[QueryRecord]] = None,
+                 execution: Optional["ExecutionPlan"] = None
                  ) -> AnalysisResult:
     budget = budget if budget is not None else Budget()
     budget.restart_clock()
     result = AnalysisResult(engine_name, checker.name)
+    telemetry = execution.telemetry if execution is not None else None
+    if telemetry is not None:
+        telemetry.annotate(engine=engine_name, checker=checker.name)
     start = time.perf_counter()
 
     try:
-        candidates = collect_candidates(pdg, checker, sparse_config)
+        if telemetry is not None:
+            with telemetry.stage("collect"):
+                candidates = collect_candidates(pdg, checker, sparse_config)
+            telemetry.count("candidates", len(candidates))
+        else:
+            candidates = collect_candidates(pdg, checker, sparse_config)
         result.candidates = len(candidates)
-        for candidate in candidates:
-            t0 = time.perf_counter()
-            smt_result = solve_candidate(candidate)
-            seconds = time.perf_counter() - t0
-            result.smt_queries += 1
-            if smt_result.decided_in_preprocess:
-                result.decided_in_preprocess += 1
-            if query_records is not None:
-                query_records.append(QueryRecord(
-                    smt_result.status, seconds,
-                    smt_result.decided_in_preprocess))
-            feasible = smt_result.status is not SmtStatus.UNSAT
-            witness = {var.name: value
-                       for var, value in smt_result.model.items()}
-            result.reports.append(BugReport(
-                candidate, feasible, smt_result.decided_in_preprocess,
-                seconds, witness))
-            total, condition = memory_snapshot()
-            result.memory_units = max(result.memory_units, total)
-            result.condition_memory_units = max(
-                result.condition_memory_units, condition)
-            budget.check_memory(total)
-            budget.check_time()
+
+        if execution is not None and execution.parallel_jobs > 1:
+            _run_scheduled(candidates, execution, result, budget,
+                           query_records)
+        else:
+            _run_sequential(candidates, solve_candidate, memory_snapshot,
+                            result, budget, query_records, telemetry)
     except MemoryBudgetExceeded:
         result.failure = "memory"
     except TimeBudgetExceeded:
@@ -86,4 +110,86 @@ def run_analysis(pdg: ProgramDependenceGraph, checker: Checker,
     result.condition_memory_units = max(result.condition_memory_units,
                                         condition)
     result.wall_time = time.perf_counter() - start
+    if telemetry is not None:
+        telemetry.record_memory(result.memory_units,
+                                result.condition_memory_units)
+        telemetry.set_wall_seconds(result.wall_time)
+        if result.failure is not None:
+            telemetry.annotate(failure=result.failure)
     return result
+
+
+def _run_sequential(candidates: Iterable[BugCandidate],
+                    solve_candidate: SolveFn, memory_snapshot: MemoryFn,
+                    result: AnalysisResult, budget: Budget,
+                    query_records: Optional[list[QueryRecord]],
+                    telemetry) -> None:
+    """The seed per-candidate loop (shared engine, in submission order)."""
+    for candidate in candidates:
+        t0 = time.perf_counter()
+        smt_result = solve_candidate(candidate)
+        seconds = time.perf_counter() - t0
+        result.smt_queries += 1
+        if smt_result.decided_in_preprocess:
+            result.decided_in_preprocess += 1
+        if smt_result.status is SmtStatus.UNKNOWN:
+            result.unknown_queries += 1
+        if query_records is not None:
+            query_records.append(QueryRecord(
+                smt_result.status, seconds,
+                smt_result.decided_in_preprocess,
+                smt_result.condition_nodes))
+        if telemetry is not None:
+            telemetry.record_query(smt_result.status, seconds,
+                                   smt_result.decided_in_preprocess,
+                                   smt_result.condition_nodes)
+        feasible = smt_result.status is not SmtStatus.UNSAT
+        result.reports.append(BugReport(
+            candidate, feasible, smt_result.decided_in_preprocess,
+            seconds, public_witness(smt_result.model)))
+        total, condition = memory_snapshot()
+        result.memory_units = max(result.memory_units, total)
+        result.condition_memory_units = max(
+            result.condition_memory_units, condition)
+        if telemetry is not None:
+            telemetry.record_memory(total, condition)
+        budget.check_memory(total)
+        budget.check_time()
+
+
+def _run_scheduled(candidates: list[BugCandidate],
+                   execution: "ExecutionPlan", result: AnalysisResult,
+                   budget: Budget,
+                   query_records: Optional[list[QueryRecord]]) -> None:
+    """Dispatch the candidates through the plan's worker pool.
+
+    Outcomes are assembled into reports even when a budget violation
+    aborts the run mid-way (the ``finally`` clause), mirroring the
+    sequential loop's partial-results behavior.
+    """
+    scheduler = execution.make_scheduler(budget)
+    outcomes: list["QueryOutcome"] = []
+    try:
+        scheduler.run(candidates, sink=outcomes)
+    finally:
+        outcomes.sort(key=lambda outcome: outcome.index)
+        for outcome in outcomes:
+            result.smt_queries += 1
+            if outcome.decided_in_preprocess:
+                result.decided_in_preprocess += 1
+            if outcome.status is SmtStatus.UNKNOWN:
+                result.unknown_queries += 1
+            if query_records is not None:
+                query_records.append(QueryRecord(
+                    outcome.status, outcome.seconds,
+                    outcome.decided_in_preprocess,
+                    outcome.condition_nodes))
+            result.reports.append(BugReport(
+                candidates[outcome.index], outcome.feasible,
+                outcome.decided_in_preprocess, outcome.seconds,
+                dict(outcome.witness)))
+            result.memory_units = max(result.memory_units,
+                                      outcome.memory_units)
+            result.condition_memory_units = max(
+                result.condition_memory_units,
+                outcome.condition_memory_units)

@@ -106,3 +106,58 @@ class TestDriver:
                         query_records=records)
         assert len(records) == 2
         assert all(r.status is SmtStatus.SAT for r in records)
+
+    def test_unknown_queries_counted(self):
+        result = make_driver_run(lambda c: SmtResult(SmtStatus.UNKNOWN))
+        assert result.unknown_queries == 2
+        assert ", 2 unknown" in result.summary()
+        sat = make_driver_run(lambda c: SmtResult(SmtStatus.SAT))
+        assert sat.unknown_queries == 0
+        assert "unknown" not in sat.summary()
+
+
+#: A query the preprocessor cannot settle and the SAT back end cannot
+#: decide within a one-conflict budget: a multiplicative xor-factoring
+#: gate guarding the dereference.
+HARD_SRC = """
+fun f(x, y, z, w) {
+  p = null;
+  a = x * y;
+  b = z * w;
+  c = a ^ b;
+  d = (x | 1) * (z | 1);
+  if (c == 171) { if (d == 77) { deref(p); } }
+  return 0;
+}
+"""
+
+
+class TestQueryMetrics:
+    """Regressions for per-query record fields (Figure 11 inputs)."""
+
+    def _run(self, conflict_limit):
+        from repro.fusion import FusionConfig, FusionEngine, GraphSolverConfig
+        from repro.smt.solver import SolverConfig
+
+        pdg = prepare_pdg(compile_source(HARD_SRC))
+        engine = FusionEngine(pdg, FusionConfig(solver=GraphSolverConfig(
+            solver=SolverConfig(conflict_limit=conflict_limit))))
+        return engine.analyze(NullDereferenceChecker()), engine.query_records
+
+    def test_condition_nodes_populated(self):
+        # Regression: QueryRecord.condition_nodes used to stay 0 because
+        # SmtResult never carried the queried constraint-set size.
+        result, records = self._run(conflict_limit=200_000)
+        assert records, "no queries issued"
+        assert all(record.condition_nodes > 0 for record in records)
+        assert result.unknown_queries == 0
+
+    def test_resource_limited_query_counts_as_unknown(self):
+        # A one-conflict budget cannot decide the factoring gate: the
+        # query lands UNKNOWN, is still reported (soundy), and the run
+        # tracks it separately from proven-SAT bugs.
+        result, records = self._run(conflict_limit=1)
+        assert result.unknown_queries == 1
+        assert [r.status for r in records] == [SmtStatus.UNKNOWN]
+        assert len(result.bugs) == 1  # reported despite the timeout
+        assert "1 unknown" in result.summary()

@@ -1,0 +1,128 @@
+"""Properties of the slice memo (`repro.exec.cache`).
+
+The cache's correctness contract: a hit, rehydrated against the querying
+path's actual frames, is *equal* to a fresh ``compute_slice`` — same
+needed sets, same requirements in the same order — and therefore solving
+against a cached slice can never change an SMT verdict, no matter how
+small the capacity (evictions only cost recomputation, never precision).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import SubjectSpec, generate_subject
+from repro.checkers import NullDereferenceChecker
+from repro.exec import SliceCache, path_fingerprint
+from repro.fusion import FusionEngine, prepare_pdg
+from repro.pdg.slicing import compute_slice
+from repro.sparse.engine import collect_candidates
+
+
+def fuzz_candidates(seed, num_functions=6):
+    spec = SubjectSpec("slice-cache", seed=seed,
+                       num_functions=num_functions, layers=3, avg_stmts=5,
+                       call_fanout=2, null_bugs=(1, 1, 1))
+    pdg = prepare_pdg(generate_subject(spec).program)
+    return pdg, collect_candidates(pdg, NullDereferenceChecker())
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_cache_hit_equals_fresh_recompute(seed):
+    """Prime the cache, query everything again: every second-round slice
+    (a hit, frame-rehydrated) equals a fresh computation exactly."""
+    pdg, candidates = fuzz_candidates(seed)
+    cache = SliceCache(capacity=None)
+    for candidate in candidates:
+        cache.get(pdg, [candidate.path])
+    for candidate in candidates:
+        cached = cache.get(pdg, [candidate.path])
+        fresh = compute_slice(pdg, [candidate.path])
+        assert cached.needed == fresh.needed
+        assert cached.requirements == fresh.requirements
+    hits, misses, _ = cache.counters()
+    assert misses <= len(candidates)  # round one, minus renaming shares
+    assert hits >= len(candidates)    # round two hits every time
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_eviction_never_changes_verdicts(seed):
+    """capacity=1 forces an eviction on nearly every query; statuses must
+    match a run with no cache at all."""
+    pdg, candidates = fuzz_candidates(seed)
+    engine = FusionEngine(pdg)
+    cache = SliceCache(capacity=1)
+
+    def status(the_slice, candidate):
+        return engine.solver.solve([candidate.path], the_slice).status
+
+    for candidate in candidates:
+        evicted = status(cache.get(pdg, [candidate.path]), candidate)
+        fresh = status(compute_slice(pdg, [candidate.path]), candidate)
+        assert evicted == fresh
+    assert len(cache) <= 1
+    if len(candidates) > 1:
+        assert cache.counters()[2] > 0, "capacity=1 never evicted"
+
+
+def test_capacity_zero_disables_caching():
+    pdg, candidates = fuzz_candidates(0)
+    cache = SliceCache(capacity=0)
+    for _ in range(2):
+        for candidate in candidates:
+            the_slice = cache.get(pdg, [candidate.path])
+            fresh = compute_slice(pdg, [candidate.path])
+            assert the_slice.needed == fresh.needed
+            assert the_slice.requirements == fresh.requirements
+    hits, misses, evictions = cache.counters()
+    assert hits == 0
+    assert misses == 2 * len(candidates)
+    assert evictions == 0
+    assert len(cache) == 0
+
+
+def test_fingerprint_is_frame_renaming_invariant():
+    """Re-collecting candidates hands out fresh frame ids; structurally
+    identical paths must still map to one fingerprint (that invariance is
+    what makes the memo useful across workers and re-collections)."""
+    pdg, first = fuzz_candidates(42)
+    _, second = fuzz_candidates(42)
+    assert len(first) == len(second)
+    for a, b in zip(first, second):
+        key_a, _, _ = path_fingerprint([a.path])
+        key_b, _, _ = path_fingerprint([b.path])
+        assert key_a == key_b
+
+
+def test_fingerprint_distinguishes_multi_path_sets():
+    """A two-path set is not fingerprint-equal to either of its members,
+    and the canonical frame list covers both paths' contexts."""
+    pdg, candidates = fuzz_candidates(1)
+    if len(candidates) < 2:
+        pytest.skip("fuzz subject produced a single candidate")
+    a, b = candidates[0].path, candidates[1].path
+    pair_key, frames, canon_by_fid = path_fingerprint([a, b])
+    single_key, _, _ = path_fingerprint([a])
+    assert pair_key != single_key
+    step_frames = {step.frame.fid for step in a.steps} | \
+                  {step.frame.fid for step in b.steps}
+    assert step_frames <= set(canon_by_fid)
+    assert sorted(canon_by_fid.values()) == list(range(len(frames)))
+
+
+def test_cached_multi_path_slice_round_trips():
+    """Simultaneous-path slices (Example 3.2 shape) memoize too."""
+    pdg, candidates = fuzz_candidates(1)
+    if len(candidates) < 2:
+        pytest.skip("fuzz subject produced a single candidate")
+    paths = [candidates[0].path, candidates[1].path]
+    cache = SliceCache()
+    first = cache.get(pdg, paths)
+    again = cache.get(pdg, paths)
+    fresh = compute_slice(pdg, paths)
+    assert cache.counters()[:2] == (1, 1)
+    for produced in (first, again):
+        assert produced.needed == fresh.needed
+        assert produced.requirements == fresh.requirements
