@@ -1,0 +1,232 @@
+"""Sparse abstract interpretation over the PDG's data-dependence edges.
+
+One worklist fixpoint computes an :class:`AbsValue` per vertex — i.e. per
+SSA variable, since every vertex defines exactly one — by running transfer
+functions along data edges only (the sparse discipline of the paper's
+Figure 6(b): no program points, no control-flow graph).  Merges happen
+where the dependence representation puts them:
+
+* **gated-ite joins** — an ``ite`` vertex joins its arms, but consults
+  the condition's abstract value first: a condition proven constant keeps
+  only the live arm (the "gated" part of gated SSA);
+* **context-tagged call/return edges** — call edges carry their
+  parenthesis label, and the per-call-site actual values are recorded
+  individually (:attr:`AbstractState.param_contributions`) before being
+  joined.  The *joined* value is deliberately further widened to an
+  unconstrained interval at parameters: a candidate's SMT fragment treats
+  its root frame's parameters as free variables, so any triage verdict
+  derived from a narrower-than-top parameter would be unsound for paths
+  rooted in that function.  Nullness and taints keep the join (they feed
+  witnesses and the differential-vs-interpreter suite, never verdicts).
+
+Termination: the whole-graph edge relation is cyclic (mismatched
+call/return labels close loops the valid-path discipline never walks),
+so after ``widen_after`` updates a vertex widens instead of joining.
+Unrolled-loop chains are acyclic but deep; the same counter bounds how
+long a chain can keep refining before its bounds are pushed to the
+extremes.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.absint.domains import (AbsValue, FixpointStats, Interval,
+                                  Nullness, TaintSpec)
+from repro.absint.transfer import binary_interval
+from repro.lang.ir import (Assign, Binary, Branch, Call, Const, Identity,
+                           IfThenElse, Operand, Return)
+from repro.pdg.graph import EdgeKind, ProgramDependenceGraph, Vertex
+from repro.smt.semantics import to_signed
+
+
+@dataclass
+class FixpointConfig:
+    """Knobs for the fixpoint loop."""
+
+    #: Joins tolerated at one vertex before widening kicks in.
+    widen_after: int = 12
+
+
+@dataclass
+class AbstractState:
+    """The fixpoint's result: one reduced-product value per vertex."""
+
+    pdg: ProgramDependenceGraph
+    width: int
+    values: list[AbsValue]
+    #: ``(param vertex index, callsite id) -> joined actual value`` — the
+    #: per-context view of the labelled call edges.
+    param_contributions: dict[tuple[int, int], AbsValue] \
+        = field(default_factory=dict)
+    stats: FixpointStats = field(default_factory=FixpointStats)
+
+    def value_of(self, vertex: Vertex) -> AbsValue:
+        return self.values[vertex.index]
+
+    def var_value(self, function: str, name: str) -> AbsValue:
+        """Abstract value of ``function``'s SSA variable ``name``."""
+        try:
+            vertex = self.pdg.def_of(function, name)
+        except KeyError:
+            return AbsValue.top(self.width)
+        return self.values[vertex.index]
+
+    def interval_of(self, vertex: Vertex) -> Interval:
+        value = self.values[vertex.index]
+        if value.interval is None:
+            return Interval.top(self.width)
+        return value.interval
+
+
+def analyze_pdg(pdg: ProgramDependenceGraph,
+                taint_spec: Optional[TaintSpec] = None,
+                config: Optional[FixpointConfig] = None) -> AbstractState:
+    """Run the sparse fixpoint and return the per-vertex abstract state."""
+    spec = taint_spec if taint_spec is not None else TaintSpec.default()
+    config = config if config is not None else FixpointConfig()
+    state = AbstractState(pdg, pdg.program.width,
+                          [AbsValue.bottom()] * pdg.num_vertices)
+    state.stats.vertices = pdg.num_vertices
+    start = time.perf_counter()
+
+    update_counts = [0] * pdg.num_vertices
+    worklist = deque(range(pdg.num_vertices))
+    queued = [True] * pdg.num_vertices
+
+    while worklist:
+        index = worklist.popleft()
+        queued[index] = False
+        vertex = pdg.vertices[index]
+        state.stats.iterations += 1
+        new = _transfer(pdg, vertex, state, spec).reduce()
+        old = state.values[index]
+        merged = old.join(new)
+        if merged == old:
+            continue
+        update_counts[index] += 1
+        if update_counts[index] > config.widen_after:
+            merged = old.widen(merged, state.width)
+            state.stats.widenings += 1
+        state.values[index] = merged
+        for edge in pdg.data_succs(vertex):
+            succ = edge.dst.index
+            if not queued[succ]:
+                queued[succ] = True
+                worklist.append(succ)
+
+    state.stats.seconds = time.perf_counter() - start
+    return state
+
+
+# --------------------------------------------------------------------- #
+# Transfer functions
+# --------------------------------------------------------------------- #
+
+
+def _operand_value(pdg: ProgramDependenceGraph, function: str,
+                   operand: Operand, state: AbstractState) -> AbsValue:
+    if isinstance(operand, Const):
+        modulus = 1 << state.width
+        return AbsValue.const(to_signed(operand.value % modulus,
+                                        state.width),
+                              is_null=operand.is_null)
+    vertex = pdg.def_of_operand(function, operand)
+    if vertex is None:
+        return AbsValue.top(state.width)
+    return state.values[vertex.index]
+
+
+def _transfer(pdg: ProgramDependenceGraph, vertex: Vertex,
+              state: AbstractState, spec: TaintSpec) -> AbsValue:
+    stmt = vertex.stmt
+    if isinstance(stmt, Identity):
+        return _param_transfer(pdg, vertex, state)
+    if isinstance(stmt, (Assign, Return)):
+        return _operand_value(pdg, vertex.function, stmt.source, state)
+    if isinstance(stmt, Branch):
+        return _operand_value(pdg, vertex.function, stmt.cond, state)
+    if isinstance(stmt, IfThenElse):
+        return _ite_transfer(pdg, vertex, stmt, state)
+    if isinstance(stmt, Binary):
+        return _binary_transfer(pdg, vertex, stmt, state)
+    if isinstance(stmt, Call):
+        return _call_transfer(pdg, vertex, stmt, state, spec)
+    raise TypeError(f"no transfer for {stmt!r}")
+
+
+def _param_transfer(pdg: ProgramDependenceGraph, vertex: Vertex,
+                    state: AbstractState) -> AbsValue:
+    """Parameter identity: join labelled call-edge actuals, tag each
+    contribution by call site, then force the interval to top (see the
+    module docstring for why parameters must stay unconstrained)."""
+    joined = AbsValue(Interval.top(state.width), Nullness.NOT_NULL,
+                      frozenset())
+    for edge in pdg.data_preds(vertex):
+        if edge.kind is not EdgeKind.CALL:
+            continue
+        actual = state.values[edge.src.index]
+        if actual.is_bottom:
+            continue
+        if edge.callsite is not None:
+            key = (vertex.index, edge.callsite)
+            previous = state.param_contributions.get(key,
+                                                     AbsValue.bottom())
+            state.param_contributions[key] = previous.join(actual)
+        joined = joined.join(actual)
+    return AbsValue(Interval.top(state.width), joined.nullness,
+                    joined.taints)
+
+
+def _ite_transfer(pdg: ProgramDependenceGraph, vertex: Vertex,
+                  stmt: IfThenElse, state: AbstractState) -> AbsValue:
+    cond = _operand_value(pdg, vertex.function, stmt.cond, state)
+    if cond.is_bottom:
+        return AbsValue.bottom()
+    then_value = _operand_value(pdg, vertex.function, stmt.then_value,
+                                state)
+    else_value = _operand_value(pdg, vertex.function, stmt.else_value,
+                                state)
+    if cond.interval.definitely_true:
+        return then_value
+    if cond.interval.definitely_false:
+        return else_value
+    return then_value.join(else_value)
+
+
+def _binary_transfer(pdg: ProgramDependenceGraph, vertex: Vertex,
+                     stmt: Binary, state: AbstractState) -> AbsValue:
+    lhs = _operand_value(pdg, vertex.function, stmt.lhs, state)
+    rhs = _operand_value(pdg, vertex.function, stmt.rhs, state)
+    if lhs.is_bottom or rhs.is_bottom:
+        return AbsValue.bottom()
+    interval = binary_interval(stmt.op, lhs.interval, rhs.interval,
+                               state.width)
+    # Arithmetic produces a fresh non-null value; comparisons and logical
+    # connectives drop provenance (mirrors Interpreter._binary).
+    if stmt.op.is_comparison or stmt.op.is_logical:
+        taints: frozenset = frozenset()
+    else:
+        taints = lhs.taints | rhs.taints
+    return AbsValue(interval, Nullness.NOT_NULL, taints)
+
+
+def _call_transfer(pdg: ProgramDependenceGraph, vertex: Vertex,
+                   stmt: Call, state: AbstractState,
+                   spec: TaintSpec) -> AbsValue:
+    if pdg.program.is_extern(stmt.callee):
+        # Extern results are havoc for feasibility (the SMT translation
+        # leaves them free), so the interval must be top even though the
+        # interpreter's default model returns small constants.
+        taints = frozenset({stmt.callee}) \
+            if stmt.callee in spec.sources else frozenset()
+        return AbsValue(Interval.top(state.width), Nullness.NOT_NULL,
+                        taints)
+    result = AbsValue.bottom()
+    for edge in pdg.data_preds(vertex):
+        if edge.kind is EdgeKind.RETURN:
+            result = result.join(state.values[edge.src.index])
+    return result

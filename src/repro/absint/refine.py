@@ -1,0 +1,367 @@
+"""Backward interval refinement of a candidate's slice requirements.
+
+The forward fixpoint (:mod:`repro.absint.fixpoint`) is context-insensitive
+and keeps parameters unconstrained; its intervals alone rarely refute a
+path.  Refinement adds the missing relational step: assume every slice
+requirement (``cond == value`` in frame ``F``), then propagate the
+assumed intervals *backwards* through the defining statements, meeting as
+it goes.  Reaching an empty meet proves the conjunction of requirements
+unsatisfiable.
+
+Soundness of a ``PROVEN_INFEASIBLE`` verdict rests on two facts:
+
+* every equation refinement walks is a definitional equation of a vertex
+  in the slice's needed closure (Rule 3 follows data predecessors the
+  same way ``_backward`` does), so each is a conjunct of the SMT
+  fragment the engines would have solved;
+* each rule only ever *shrinks* the set of environments (it meets with a
+  superset of the concrete preimage).  Hence an empty meet means the SMT
+  fragment is UNSAT — the seed engines would have filtered the candidate
+  too, just more expensively.
+
+The environment is keyed by ``(frame fid, vertex index)``: the same SSA
+variable may carry different refined intervals in different calling
+contexts, which is what lets requirements cross parameter identities into
+the frame's actual arguments (the call-site tag on the frame picks the
+one call edge the path actually took).
+
+Refinement never *widens*, so termination needs care on cyclic
+constraints (``c < d && d < c`` narrows one step per round): a global
+step cap bounds the walk, and hitting the cap simply returns "not
+proven" — never a wrong verdict.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Optional
+
+from repro.absint.domains import Interval
+from repro.absint.fixpoint import AbstractState
+from repro.absint.transfer import wrap_range
+from repro.lang.ir import (Assign, Binary, BinOp, Branch, Const, Identity,
+                           IfThenElse, Operand, Return)
+from repro.pdg.graph import ProgramDependenceGraph, Vertex
+from repro.pdg.slicing import Slice
+from repro.smt.semantics import to_signed
+from repro.sparse.paths import Frame
+
+
+class _Infeasible(Exception):
+    """Internal signal: some requirement meet became empty."""
+
+
+_NEGATED = {BinOp.LT: BinOp.GE, BinOp.GE: BinOp.LT,
+            BinOp.LE: BinOp.GT, BinOp.GT: BinOp.LE,
+            BinOp.EQ: BinOp.NE, BinOp.NE: BinOp.EQ}
+
+#: ``(frame fid, vertex index)`` — one refinement cell.
+_Key = tuple[int, int]
+
+
+class SliceRefiner:
+    """Backward meet-refinement over one candidate's slice."""
+
+    def __init__(self, pdg: ProgramDependenceGraph, state: AbstractState,
+                 max_steps: int = 20000) -> None:
+        self.pdg = pdg
+        self.state = state
+        self.width = state.width
+        self.max_steps = max_steps
+        self.steps_taken = 0
+        self._env: dict[_Key, Interval] = {}
+        self._cells: dict[_Key, tuple[Frame, Vertex]] = {}
+        self._worklist: deque[tuple[Frame, Vertex]] = deque()
+        self._dirty = False
+
+    # ------------------------------------------------------------------ #
+    # Entry point
+    # ------------------------------------------------------------------ #
+
+    def proves_infeasible(self, the_slice: Slice) -> bool:
+        """True iff the requirements are jointly unsatisfiable."""
+        self._env.clear()
+        self._cells.clear()
+        self._worklist.clear()
+        self.steps_taken = 0
+        self._dirty = False
+        try:
+            for req in the_slice.requirements:
+                cond = req.vertex.stmt.cond
+                self._refine_operand(req.frame, req.vertex.function, cond,
+                                     Interval.const(int(req.value)))
+            self._drain()
+            # Narrowing round-trips: re-run every refined cell's backward
+            # rule against the now-tighter operand intervals until nothing
+            # improves (this is what closes ``c < d && d < c``-style
+            # cycles, one unit per round).
+            while self._dirty and self.steps_taken < self.max_steps:
+                self._dirty = False
+                for frame, vertex in list(self._cells.values()):
+                    self._worklist.append((frame, vertex))
+                self._drain()
+        except _Infeasible:
+            return True
+        return False
+
+    def _drain(self) -> None:
+        while self._worklist and self.steps_taken < self.max_steps:
+            frame, vertex = self._worklist.popleft()
+            self.steps_taken += 1
+            self._backward(frame, vertex)
+
+    # ------------------------------------------------------------------ #
+    # Environment
+    # ------------------------------------------------------------------ #
+
+    def _get(self, frame: Frame, vertex: Vertex) -> Interval:
+        cached = self._env.get((frame.fid, vertex.index))
+        if cached is not None:
+            return cached
+        # Seed from the forward fixpoint; bottom (unreached) degrades to
+        # top — refinement must not manufacture infeasibility from the
+        # forward pass's reachability, only from the requirements.
+        value = self.state.values[vertex.index]
+        if value.interval is None:
+            return Interval.top(self.width)
+        return value.interval
+
+    def _refine(self, frame: Frame, vertex: Vertex, claim: Interval) -> None:
+        current = self._get(frame, vertex)
+        met = current.meet(claim)
+        if met is None:
+            raise _Infeasible
+        if met != current:
+            key = (frame.fid, vertex.index)
+            self._env[key] = met
+            self._cells[key] = (frame, vertex)
+            self._worklist.append((frame, vertex))
+            self._dirty = True
+
+    def _operand_interval(self, frame: Frame, function: str,
+                          operand: Operand) -> Interval:
+        if isinstance(operand, Const):
+            return Interval.const(self._const_value(operand))
+        target = self.pdg.def_of_operand(function, operand)
+        if target is None:
+            return Interval.top(self.width)
+        return self._get(frame, target)
+
+    def _refine_operand(self, frame: Frame, function: str, operand: Operand,
+                        claim: Interval) -> None:
+        if isinstance(operand, Const):
+            if not claim.contains(self._const_value(operand)):
+                raise _Infeasible
+            return
+        target = self.pdg.def_of_operand(function, operand)
+        if target is not None:
+            self._refine(frame, target, claim)
+
+    def _const_value(self, const: Const) -> int:
+        return to_signed(const.value % (1 << self.width), self.width)
+
+    # ------------------------------------------------------------------ #
+    # Backward rules
+    # ------------------------------------------------------------------ #
+
+    def _backward(self, frame: Frame, vertex: Vertex) -> None:
+        stmt = vertex.stmt
+        claim = self._get(frame, vertex)
+        if isinstance(stmt, (Assign, Return)):
+            self._refine_operand(frame, vertex.function, stmt.source, claim)
+        elif isinstance(stmt, Branch):
+            self._refine_operand(frame, vertex.function, stmt.cond, claim)
+        elif isinstance(stmt, IfThenElse):
+            self._backward_ite(frame, vertex, stmt, claim)
+        elif isinstance(stmt, Binary):
+            self._backward_binary(frame, vertex, stmt, claim)
+        elif isinstance(stmt, Identity):
+            self._backward_param(frame, vertex, claim)
+        # Call results stay as refined facts: crossing a return edge would
+        # need the callee's frame, which the slice's requirements already
+        # name explicitly when they constrain callee code.
+
+    def _backward_param(self, frame: Frame, vertex: Vertex,
+                        claim: Interval) -> None:
+        """Cross a parameter identity into the caller's actual argument.
+
+        Only frames entered through a call edge know which call site bound
+        the parameter; root frames (free parameters) and escaped frames
+        (entered via an unbalanced return) stop the walk.
+        """
+        if frame.parent is None or frame.via_return:
+            return
+        site = self.pdg.callsites.get(frame.callsite)
+        if site is None or site.callee != vertex.function:
+            return
+        params = self.pdg.param_vertices(vertex.function)
+        try:
+            position = params.index(vertex)
+        except ValueError:
+            return
+        call_stmt = site.call_vertex.stmt
+        if position < len(call_stmt.args):
+            self._refine_operand(frame.parent, site.caller,
+                                 call_stmt.args[position], claim)
+
+    def _backward_ite(self, frame: Frame, vertex: Vertex, stmt: IfThenElse,
+                      claim: Interval) -> None:
+        function = vertex.function
+        cond = self._operand_interval(frame, function, stmt.cond)
+        then_iv = self._operand_interval(frame, function, stmt.then_value)
+        else_iv = self._operand_interval(frame, function, stmt.else_value)
+        then_ok = (not cond.definitely_false
+                   and claim.meet(then_iv) is not None)
+        else_ok = (not cond.definitely_true
+                   and claim.meet(else_iv) is not None)
+        if not then_ok and not else_ok:
+            raise _Infeasible
+        if then_ok and not else_ok:
+            self._refine_operand(frame, function, stmt.then_value, claim)
+            self._refine_truthy(frame, function, stmt.cond)
+        elif else_ok and not then_ok:
+            self._refine_operand(frame, function, stmt.else_value, claim)
+            self._refine_operand(frame, function, stmt.cond,
+                                 Interval.const(0))
+
+    def _backward_binary(self, frame: Frame, vertex: Vertex, stmt: Binary,
+                         claim: Interval) -> None:
+        op, function = stmt.op, vertex.function
+        if op.is_comparison:
+            if claim.definitely_true:
+                self._constrain_compare(frame, function, op,
+                                        stmt.lhs, stmt.rhs)
+            elif claim.definitely_false:
+                self._constrain_compare(frame, function, _NEGATED[op],
+                                        stmt.lhs, stmt.rhs)
+        elif op is BinOp.AND and claim.definitely_true:
+            self._refine_truthy(frame, function, stmt.lhs)
+            self._refine_truthy(frame, function, stmt.rhs)
+        elif op is BinOp.OR and claim.definitely_false:
+            self._refine_operand(frame, function, stmt.lhs,
+                                 Interval.const(0))
+            self._refine_operand(frame, function, stmt.rhs,
+                                 Interval.const(0))
+        elif op in (BinOp.ADD, BinOp.SUB):
+            self._constrain_addsub(frame, function, op, stmt, claim)
+        elif op is BinOp.MUL:
+            self._constrain_mul(frame, function, stmt, claim)
+        # DIV/REM/shifts/bitwise: no backward rule (skipping is sound).
+
+    # -- comparison rules ---------------------------------------------- #
+
+    def _constrain_compare(self, frame: Frame, function: str, op: BinOp,
+                           lhs: Operand, rhs: Operand) -> None:
+        """Assume ``lhs op rhs`` holds and tighten both sides (signed)."""
+        if op is BinOp.GT:
+            return self._constrain_compare(frame, function, BinOp.LT,
+                                           rhs, lhs)
+        if op is BinOp.GE:
+            return self._constrain_compare(frame, function, BinOp.LE,
+                                           rhs, lhs)
+        a = self._operand_interval(frame, function, lhs)
+        b = self._operand_interval(frame, function, rhs)
+        if op is BinOp.LT:
+            self._refine_operand(frame, function, lhs,
+                                 self._at_most(b.hi - 1))
+            self._refine_operand(frame, function, rhs,
+                                 self._at_least(a.lo + 1))
+        elif op is BinOp.LE:
+            self._refine_operand(frame, function, lhs, self._at_most(b.hi))
+            self._refine_operand(frame, function, rhs, self._at_least(a.lo))
+        elif op is BinOp.EQ:
+            met = a.meet(b)
+            if met is None:
+                raise _Infeasible
+            self._refine_operand(frame, function, lhs, met)
+            self._refine_operand(frame, function, rhs, met)
+        elif op is BinOp.NE:
+            self._refine_operand(frame, function, lhs,
+                                 self._excluding(a, b))
+            self._refine_operand(frame, function, rhs,
+                                 self._excluding(b, a))
+
+    def _at_most(self, hi: int) -> Interval:
+        top = Interval.top(self.width)
+        if hi < top.lo:
+            raise _Infeasible  # nothing is below the signed minimum
+        return Interval(top.lo, min(hi, top.hi))
+
+    def _at_least(self, lo: int) -> Interval:
+        top = Interval.top(self.width)
+        if lo > top.hi:
+            raise _Infeasible
+        return Interval(max(lo, top.lo), top.hi)
+
+    def _excluding(self, a: Interval, b: Interval) -> Interval:
+        """``a`` minus singleton ``b`` when that stays an interval."""
+        if not b.is_singleton:
+            return a
+        if a.is_singleton and a.lo == b.lo:
+            raise _Infeasible
+        if a.lo == b.lo:
+            return Interval(a.lo + 1, a.hi)
+        if a.hi == b.lo:
+            return Interval(a.lo, a.hi - 1)
+        return a
+
+    # -- arithmetic rules ----------------------------------------------- #
+
+    def _constrain_addsub(self, frame: Frame, function: str, op: BinOp,
+                          stmt: Binary, claim: Interval) -> None:
+        """Invert ``v = x ± y`` modulo ``2**width``: the preimage of an
+        interval under a wrapped shift is itself a wrapped interval, and
+        ``wrap_range`` returns top exactly when it is not expressible —
+        so meeting with it is always sound."""
+        a = self._operand_interval(frame, function, stmt.lhs)
+        b = self._operand_interval(frame, function, stmt.rhs)
+        if op is BinOp.ADD:
+            lhs_claim = wrap_range(claim.lo - b.hi, claim.hi - b.lo,
+                                   self.width)
+            rhs_claim = wrap_range(claim.lo - a.hi, claim.hi - a.lo,
+                                   self.width)
+        else:  # v = x - y  =>  x = v + y,  y = x - v
+            lhs_claim = wrap_range(claim.lo + b.lo, claim.hi + b.hi,
+                                   self.width)
+            rhs_claim = wrap_range(a.lo - claim.hi, a.hi - claim.lo,
+                                   self.width)
+        self._refine_operand(frame, function, stmt.lhs, lhs_claim)
+        self._refine_operand(frame, function, stmt.rhs, rhs_claim)
+
+    def _constrain_mul(self, frame: Frame, function: str, stmt: Binary,
+                       claim: Interval) -> None:
+        """``v = x * c (mod 2**w)``: every product is a multiple of
+        ``gcd(c, 2**w)``, so a claim interval containing no such multiple
+        is impossible (this kills the generator's ``v * 2 == 7`` guard)."""
+        factor = self._singleton_operand(frame, function, stmt.lhs)
+        if factor is None:
+            factor = self._singleton_operand(frame, function, stmt.rhs)
+        if factor is None:
+            return
+        modulus = 1 << self.width
+        g = math.gcd(factor % modulus, modulus)
+        if g <= 1:
+            return
+        # Largest multiple of g that is <= claim.hi; claim is satisfiable
+        # by some product only if that multiple also reaches claim.lo.
+        if (claim.hi // g) * g < claim.lo:
+            raise _Infeasible
+
+    def _singleton_operand(self, frame: Frame, function: str,
+                           operand: Operand) -> Optional[int]:
+        iv = self._operand_interval(frame, function, operand)
+        return iv.lo if iv.is_singleton else None
+
+    def _refine_truthy(self, frame: Frame, function: str,
+                       operand: Operand) -> None:
+        """Require ``operand != 0`` (truthiness) where expressible."""
+        iv = self._operand_interval(frame, function, operand)
+        if iv.definitely_false:
+            raise _Infeasible
+        if iv.lo == 0:
+            self._refine_operand(frame, function, operand,
+                                 Interval(1, iv.hi))
+        elif iv.hi == 0:
+            self._refine_operand(frame, function, operand,
+                                 Interval(iv.lo, -1))

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Optional
 
+from repro.absint.triage import make_triage
 from repro.checkers.base import AnalysisResult, BugCandidate, Checker
 from repro.exec.cache import SliceCache
 from repro.exec.scheduler import (ExecConfig, ExecutionPlan, QueryFn,
@@ -121,10 +122,13 @@ class PinpointEngine:
 
     def analyze(self, checker: Checker,
                 exec_config: Optional[ExecConfig] = None,
-                telemetry: Optional[Telemetry] = None) -> AnalysisResult:
+                telemetry: Optional[Telemetry] = None,
+                triage=None) -> AnalysisResult:
         """Run the checker; ``exec_config`` opts into the query-execution
-        layer (slice memoization, ``jobs > 1`` worker pools, telemetry).
-        With neither argument the seed sequential path runs untouched."""
+        layer (slice memoization, ``jobs > 1`` worker pools, telemetry)
+        and ``triage`` into the abstract-interpretation pre-pass (``True``,
+        a ``TriageConfig`` or a prebuilt ``CandidateTriage``).  With no
+        argument the seed sequential path runs untouched."""
         cache = None
         if exec_config is not None and exec_config.effective_jobs <= 1:
             cache = SliceCache(exec_config.slice_cache_capacity)
@@ -150,7 +154,8 @@ class PinpointEngine:
         result = run_analysis(self.pdg, checker, self.name, solve,
                               self._memory_snapshot, self.config.budget,
                               self.config.sparse, self.query_records,
-                              execution=execution)
+                              execution=execution,
+                              triage=make_triage(self.pdg, checker, triage))
         if cache is not None and telemetry is not None:
             hits, misses, evictions = cache.counters()
             telemetry.record_cache("slice", hits, misses, evictions,

@@ -18,6 +18,7 @@ from repro.baselines.pinpoint import make_pinpoint
 from repro.bench.metrics import PrecisionRecall, evaluate_reports
 from repro.bench.subjects import materialize
 from repro.checkers.base import AnalysisResult, Checker
+from repro.checkers.divzero import DivByZeroChecker
 from repro.checkers.nullderef import NullDereferenceChecker
 from repro.checkers.taint import cwe23_checker, cwe402_checker
 from repro.exec.scheduler import ExecConfig
@@ -39,6 +40,7 @@ CHECKERS = {
     "null-deref": NullDereferenceChecker,
     "cwe-23": cwe23_checker,
     "cwe-402": cwe402_checker,
+    "div-zero": DivByZeroChecker,
 }
 
 
@@ -98,12 +100,15 @@ def run_engine(subject_name: str, engine: str, checker_name: str,
                time_budget: float = DEFAULT_TIME_BUDGET,
                memory_budget: int = DEFAULT_MEMORY_BUDGET,
                jobs: int = 1, backend: str = "auto",
-               telemetry: Optional[Telemetry] = None) -> RunOutcome:
+               telemetry: Optional[Telemetry] = None,
+               triage: bool = False) -> RunOutcome:
     """Run one (engine, checker) pair on one subject.
 
     ``jobs=1`` (the default) is the seed sequential path — benchmark
     numbers for Table 3 / Figure 11 are unchanged.  ``jobs > 1`` routes
-    feasibility queries through the :mod:`repro.exec` scheduler.
+    feasibility queries through the :mod:`repro.exec` scheduler;
+    ``triage=True`` enables the absint pre-pass on the path-sensitive
+    engines.
     """
     subject = materialize(subject_name)
     pdg = pdg_for(subject_name)
@@ -111,12 +116,18 @@ def run_engine(subject_name: str, engine: str, checker_name: str,
                     max_memory_units=memory_budget)
     engine_obj = make_engine(engine, pdg, budget)
     checker: Checker = CHECKERS[checker_name]()
+    kwargs = {}
+    if triage:
+        if engine == "infer":
+            raise ValueError("triage requires a path-sensitive engine; "
+                             "infer has no per-candidate SMT stage")
+        kwargs["triage"] = True
     if jobs == 1 and backend == "auto" and telemetry is None:
-        result = engine_obj.analyze(checker)
+        result = engine_obj.analyze(checker, **kwargs)
     else:
         exec_config = ExecConfig(jobs=jobs, backend=backend)
         result = engine_obj.analyze(checker, exec_config=exec_config,
-                                    telemetry=telemetry)
+                                    telemetry=telemetry, **kwargs)
     if telemetry is not None:
         telemetry.annotate(subject=subject_name)
     precision = evaluate_reports(subject, result)

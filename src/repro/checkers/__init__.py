@@ -2,6 +2,7 @@
 
 from repro.checkers.base import (AnalysisResult, BugCandidate, BugReport,
                                  Checker)
+from repro.checkers.divzero import DivByZeroChecker
 from repro.checkers.format import (format_report, format_results,
                                    format_trace)
 from repro.checkers.nullderef import DEREF_SINKS, NullDereferenceChecker
@@ -11,6 +12,6 @@ from repro.checkers.taint import (TaintChecker, cwe23_checker,
 __all__ = [
     "AnalysisResult", "BugCandidate", "BugReport", "Checker",
     "format_report", "format_results", "format_trace",
-    "DEREF_SINKS", "NullDereferenceChecker",
+    "DEREF_SINKS", "DivByZeroChecker", "NullDereferenceChecker",
     "TaintChecker", "cwe23_checker", "cwe402_checker",
 ]

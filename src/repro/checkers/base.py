@@ -75,7 +75,12 @@ class BugReport:
     solve_time: float = 0.0
     #: A concrete satisfying assignment for the path condition
     #: (variable name -> value), when the engine was asked to extract one.
+    #: Triage-decided feasible reports carry an *abstract* witness instead
+    #: (entry-argument picks from the interval domain).
     witness: dict[str, int] = field(default_factory=dict)
+    #: True when the abstract-interpretation triage stage settled the
+    #: verdict and no SMT query was ever built for this candidate.
+    decided_in_triage: bool = False
 
     @property
     def checker(self) -> str:
@@ -108,6 +113,9 @@ class AnalysisResult:
     #: still reports them as feasible, but they are tracked separately so
     #: budget-sensitivity sweeps can tell "proven" from "assumed" bugs.
     unknown_queries: int = 0
+    #: Candidates the absint triage stage settled without an SMT query.
+    triage_decided_infeasible: int = 0
+    triage_decided_feasible: int = 0
     wall_time: float = 0.0
     #: Deterministic memory model: live term-DAG nodes, cached summary
     #: nodes, and graph size (see repro.limits.Budget for rationale).
@@ -119,11 +127,17 @@ class AnalysisResult:
     def bugs(self) -> list[BugReport]:
         return [r for r in self.reports if r.feasible]
 
+    @property
+    def triage_decided(self) -> int:
+        return self.triage_decided_infeasible + self.triage_decided_feasible
+
     def summary(self) -> str:
         status = self.failure if self.failure else "ok"
         unknown = f", {self.unknown_queries} unknown" \
             if self.unknown_queries else ""
+        triaged = f", {self.triage_decided} triaged" \
+            if self.triage_decided else ""
         return (f"{self.engine}/{self.checker}: {len(self.bugs)} bugs / "
                 f"{self.candidates} candidates, {self.smt_queries} queries"
-                f"{unknown}, {self.wall_time:.2f}s, "
+                f"{unknown}{triaged}, {self.wall_time:.2f}s, "
                 f"{self.memory_units} mem units [{status}]")

@@ -21,7 +21,7 @@ from typing import Optional, Sequence
 
 from repro.baselines import InferEngine
 from repro.baselines.pinpoint import make_pinpoint
-from repro.checkers import NullDereferenceChecker
+from repro.checkers import DivByZeroChecker, NullDereferenceChecker
 from repro.checkers.taint import cwe23_checker, cwe402_checker
 from repro.fusion import (FusionConfig, FusionEngine, GraphSolverConfig,
                           prepare_pdg)
@@ -32,6 +32,7 @@ CHECKER_FACTORIES = {
     "null-deref": NullDereferenceChecker,
     "cwe-23": cwe23_checker,
     "cwe-402": cwe402_checker,
+    "div-zero": DivByZeroChecker,
 }
 
 ENGINE_CHOICES = ("fusion", "fusion-unopt", "pinpoint", "pinpoint+lfs",
@@ -91,6 +92,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="machine-readable findings on stdout")
     _add_exec_arguments(analyze)
 
+    lint = sub.add_parser(
+        "lint",
+        help="compile a source file (or registry subject) and check PDG "
+             "well-formedness; exits nonzero on violations")
+    lint.add_argument("subject",
+                      help="registry subject id/name, or a path to a "
+                           "small-language source file ('-' for stdin)")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="machine-readable violation list")
+
     return parser
 
 
@@ -107,6 +118,11 @@ def _add_exec_arguments(parser: argparse.ArgumentParser) -> None:
                              "when fork is available, else thread)")
     parser.add_argument("--batch-size", type=int, default=0,
                         help="queries per worker batch; 0 = auto")
+    parser.add_argument("--triage", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="run the abstract-interpretation triage pass "
+                             "before the SMT stage (--no-triage to force "
+                             "off; default off)")
     parser.add_argument("--telemetry", metavar="FILE",
                         help="write structured run telemetry as JSON")
 
@@ -234,11 +250,15 @@ def _write_telemetry(args: argparse.Namespace, telemetry) -> bool:
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import run_engine
 
+    if args.triage and args.engine == "infer":
+        print("repro bench: --triage requires a path-sensitive engine "
+              "(infer has no SMT stage)", file=sys.stderr)
+        return 2
     _, telemetry = _exec_options(args)
     outcome = run_engine(args.subject, args.engine, args.checker,
                          time_budget=args.time_budget,
                          jobs=args.jobs, backend=args.backend,
-                         telemetry=telemetry)
+                         telemetry=telemetry, triage=args.triage)
     print(json.dumps(outcome.row(), indent=2))
     if not _write_telemetry(args, telemetry):
         return 2
@@ -263,13 +283,18 @@ def _resolve_subject_program(name: str):
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
+    if args.triage and args.engine == "infer":
+        print("repro analyze: --triage requires a path-sensitive engine "
+              "(infer has no SMT stage)", file=sys.stderr)
+        return 2
     exec_config, telemetry = _exec_options(args)
     program = _resolve_subject_program(args.subject)
     pdg = prepare_pdg(program)
     engine = _make_engine(args.engine, pdg, want_model=True)
     checker = CHECKER_FACTORIES[args.checker]()
+    kwargs = {"triage": True} if args.triage else {}
     result = engine.analyze(checker, exec_config=exec_config,
-                            telemetry=telemetry)
+                            telemetry=telemetry, **kwargs)
 
     if args.as_json:
         payload = {
@@ -308,10 +333,44 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0 if result.failure is None else 2
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """PDG well-formedness sanitizer over ``pdg/validate.py``."""
+    from repro.lang.lexer import LexError
+    from repro.lang.lowering import LoweringError
+    from repro.lang.parser import ParseError
+    from repro.pdg.validate import validate_pdg
+
+    try:
+        if args.subject == "-":
+            program = compile_source(sys.stdin.read(), LoweringConfig())
+        else:
+            program = _resolve_subject_program(args.subject)
+        pdg = prepare_pdg(program)
+    except (LexError, ParseError, LoweringError, ValueError) as error:
+        print(f"repro lint: {error}", file=sys.stderr)
+        return 2
+    report = validate_pdg(pdg)
+    if args.as_json:
+        print(json.dumps({"subject": args.subject, "ok": report.ok,
+                          "errors": list(report.errors)}, indent=2))
+    elif report.ok:
+        stats = pdg.stats()
+        print(f"{args.subject}: PDG OK ({stats['vertices']} vertices, "
+              f"{stats['data_edges']} data edges, "
+              f"{stats['control_edges']} control edges)")
+    else:
+        for error in report.errors:
+            print(f"{args.subject}: {error}")
+        print(f"repro lint: {len(report.errors)} violation(s)",
+              file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"scan": cmd_scan, "subjects": cmd_subjects,
-                "bench": cmd_bench, "analyze": cmd_analyze}
+                "bench": cmd_bench, "analyze": cmd_analyze,
+                "lint": cmd_lint}
     return handlers[args.command](args)
 
 

@@ -43,7 +43,7 @@ import time
 from concurrent.futures import (FIRST_COMPLETED, Executor,
                                 ProcessPoolExecutor, ThreadPoolExecutor,
                                 wait)
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from repro.checkers.base import BugCandidate, Checker
@@ -231,20 +231,29 @@ class QueryScheduler:
         self.budget = budget
 
     def run(self, candidates: list[BugCandidate],
-            sink: Optional[list[QueryOutcome]] = None
+            sink: Optional[list[QueryOutcome]] = None,
+            indices: Optional[Sequence[int]] = None
             ) -> list[QueryOutcome]:
         """Solve every candidate; outcomes are returned sorted by index.
 
         ``sink`` (when given) receives outcomes as batches complete, so a
         caller that observes a budget exception still sees the partial
         results gathered before the violation.
+
+        ``indices`` (when given) restricts solving to those positions of
+        ``candidates`` — still *full-list* indices, because the process
+        backend's workers re-collect the complete candidate list and index
+        into it.  The triage stage uses this to route only NEEDS_SMT
+        candidates through the pool.
         """
         outcomes = sink if sink is not None else []
-        if not candidates:
+        index_list = (list(range(len(candidates))) if indices is None
+                      else list(indices))
+        if not index_list:
             return outcomes
-        jobs = min(self.config.effective_jobs, len(candidates))
+        jobs = min(self.config.effective_jobs, len(index_list))
         backend = self.config.resolved_backend()
-        batches = self._partition(len(candidates), jobs)
+        batches = self._partition(index_list, jobs)
         if self.telemetry is not None:
             self.telemetry.annotate(jobs=jobs, backend=backend,
                                     batches=len(batches))
@@ -261,13 +270,15 @@ class QueryScheduler:
 
     # -- partitioning --------------------------------------------------- #
 
-    def _partition(self, count: int, jobs: int) -> list[list[int]]:
+    def _partition(self, index_list: list[int],
+                   jobs: int) -> list[list[int]]:
+        count = len(index_list)
         size = self.config.batch_size
         if size <= 0:
             # ~4 batches per worker balances load without drowning the
             # pool in per-batch dispatch overhead.
             size = max(1, -(-count // (jobs * 4)))
-        return [list(range(low, min(low + size, count)))
+        return [index_list[low:low + size]
                 for low in range(0, count, size)]
 
     # -- backends -------------------------------------------------------- #

@@ -23,7 +23,8 @@ from typing import Iterator, Optional
 from repro.smt.solver import SmtStatus
 
 #: Schema identifier embedded in every export, bumped on layout changes.
-SCHEMA = "repro-exec-telemetry/1"
+#: /2 added the "triage" section (abstract-interpretation pre-pass).
+SCHEMA = "repro-exec-telemetry/2"
 
 
 class Telemetry:
@@ -42,6 +43,11 @@ class Telemetry:
         self.caches: dict[str, dict[str, int]] = {}
         self.memory: dict[str, int] = {
             "peak_units": 0, "peak_condition_units": 0,
+        }
+        self.triage: dict[str, float] = {
+            "decided_infeasible": 0, "decided_feasible": 0,
+            "sent_to_smt": 0, "refinement_steps": 0,
+            "fixpoint_seconds": 0.0,
         }
         self.wall_seconds = 0.0
 
@@ -101,6 +107,19 @@ class Telemetry:
             if capacity is not None:
                 entry["capacity"] = capacity
 
+    def record_triage(self, decided_infeasible: int, decided_feasible: int,
+                      sent_to_smt: int, refinement_steps: int = 0,
+                      fixpoint_seconds: float = 0.0) -> None:
+        """One triage stage's outcome counts (candidates decided without
+        an SMT query, candidates forwarded, fixpoint cost)."""
+        with self._lock:
+            t = self.triage
+            t["decided_infeasible"] += decided_infeasible
+            t["decided_feasible"] += decided_feasible
+            t["sent_to_smt"] += sent_to_smt
+            t["refinement_steps"] += refinement_steps
+            t["fixpoint_seconds"] += fixpoint_seconds
+
     def record_memory(self, units: int, condition_units: int = 0) -> None:
         """Fold one modeled-memory snapshot into the peaks."""
         with self._lock:
@@ -130,6 +149,7 @@ class Telemetry:
                 "caches": {name: dict(entry)
                            for name, entry in sorted(self.caches.items())},
                 "memory": dict(self.memory),
+                "triage": dict(self.triage),
             }
 
     def to_json(self, indent: int = 2) -> str:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from repro.absint.triage import make_triage
 from repro.checkers.base import AnalysisResult, BugCandidate, Checker
 from repro.exec.cache import SliceCache
 from repro.exec.scheduler import (ExecConfig, ExecutionPlan, QueryFn,
@@ -81,10 +82,14 @@ class FusionEngine:
 
     def analyze(self, checker: Checker,
                 exec_config: Optional[ExecConfig] = None,
-                telemetry: Optional[Telemetry] = None) -> AnalysisResult:
+                telemetry: Optional[Telemetry] = None,
+                triage=None) -> AnalysisResult:
         """Run the checker; ``exec_config`` opts into the query-execution
         layer (slice memoization, ``jobs > 1`` worker pools, telemetry).
-        With neither argument the seed sequential path runs untouched."""
+        ``triage`` opts into the abstract-interpretation pre-pass: pass
+        ``True`` (default config), a ``TriageConfig``, or a prebuilt
+        ``CandidateTriage``.  With no argument the seed sequential path
+        runs untouched."""
         cache = self._slice_cache(exec_config)
 
         def solve(candidate: BugCandidate) -> SmtResult:
@@ -98,7 +103,8 @@ class FusionEngine:
         result = run_analysis(self.pdg, checker, self.name, solve,
                               self._memory_snapshot, self.config.budget,
                               self.config.sparse, self.query_records,
-                              execution=execution)
+                              execution=execution,
+                              triage=make_triage(self.pdg, checker, triage))
         if cache is not None and telemetry is not None:
             hits, misses, evictions = cache.counters()
             telemetry.record_cache("slice", hits, misses, evictions,

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.checkers.base import (AnalysisResult, BugCandidate, BugReport,
                                  Checker)
@@ -36,6 +36,7 @@ from repro.smt.terms import Term
 from repro.sparse.engine import SparseConfig, collect_candidates
 
 if TYPE_CHECKING:  # imported lazily via the plan object; no runtime cycle
+    from repro.absint.triage import CandidateTriage
     from repro.exec.scheduler import ExecutionPlan, QueryOutcome
 
 
@@ -73,7 +74,8 @@ def run_analysis(pdg: ProgramDependenceGraph, checker: Checker,
                  budget: Optional[Budget] = None,
                  sparse_config: Optional[SparseConfig] = None,
                  query_records: Optional[list[QueryRecord]] = None,
-                 execution: Optional["ExecutionPlan"] = None
+                 execution: Optional["ExecutionPlan"] = None,
+                 triage: Optional["CandidateTriage"] = None
                  ) -> AnalysisResult:
     budget = budget if budget is not None else Budget()
     budget.restart_clock()
@@ -82,6 +84,10 @@ def run_analysis(pdg: ProgramDependenceGraph, checker: Checker,
     if telemetry is not None:
         telemetry.annotate(engine=engine_name, checker=checker.name)
     start = time.perf_counter()
+    #: index -> report, filled by triage and by whichever solve loop runs;
+    #: merged into ``result.reports`` in index order even on budget aborts.
+    reports: dict[int, BugReport] = {}
+    pending: Optional[list[int]] = None
 
     try:
         if telemetry is not None:
@@ -92,18 +98,35 @@ def run_analysis(pdg: ProgramDependenceGraph, checker: Checker,
             candidates = collect_candidates(pdg, checker, sparse_config)
         result.candidates = len(candidates)
 
+        if triage is not None:
+            if telemetry is not None:
+                with telemetry.stage("triage"):
+                    pending = _run_triage(candidates, triage, reports,
+                                          result)
+            else:
+                pending = _run_triage(candidates, triage, reports, result)
+            if telemetry is not None:
+                telemetry.record_triage(
+                    result.triage_decided_infeasible,
+                    result.triage_decided_feasible,
+                    len(pending), triage.stats.refinement_steps,
+                    triage.stats.fixpoint.seconds)
+                telemetry.count("triage_decided", result.triage_decided)
+
         if execution is not None and execution.parallel_jobs > 1:
-            _run_scheduled(candidates, execution, result, budget,
-                           query_records)
+            _run_scheduled(candidates, pending, execution, result, budget,
+                           query_records, reports)
         else:
-            _run_sequential(candidates, solve_candidate, memory_snapshot,
-                            result, budget, query_records, telemetry)
+            _run_sequential(candidates, pending, solve_candidate,
+                            memory_snapshot, result, budget, query_records,
+                            telemetry, reports)
     except MemoryBudgetExceeded:
         result.failure = "memory"
     except TimeBudgetExceeded:
         result.failure = "time"
     except ResourceExceeded:
         result.failure = "resource"
+    result.reports = [reports[index] for index in sorted(reports)]
 
     total, condition = memory_snapshot()
     result.memory_units = max(result.memory_units, total)
@@ -119,13 +142,41 @@ def run_analysis(pdg: ProgramDependenceGraph, checker: Checker,
     return result
 
 
-def _run_sequential(candidates: Iterable[BugCandidate],
+def _run_triage(candidates: list[BugCandidate],
+                triage: "CandidateTriage", reports: dict[int, BugReport],
+                result: AnalysisResult) -> list[int]:
+    """Decide what the abstract interpreter can; return the indices that
+    still need an SMT query (always full-list indices — the process
+    backend's workers re-collect the complete candidate list)."""
+    from repro.absint.triage import TriageVerdict
+
+    pending: list[int] = []
+    for index, candidate in enumerate(candidates):
+        decision = triage.decide(candidate)
+        if decision.verdict is TriageVerdict.NEEDS_SMT:
+            pending.append(index)
+            continue
+        feasible = decision.verdict is TriageVerdict.PROVEN_FEASIBLE
+        if feasible:
+            result.triage_decided_feasible += 1
+        else:
+            result.triage_decided_infeasible += 1
+        reports[index] = BugReport(candidate, feasible,
+                                   witness=dict(decision.witness),
+                                   decided_in_triage=True)
+    return pending
+
+
+def _run_sequential(candidates: list[BugCandidate],
+                    pending: Optional[list[int]],
                     solve_candidate: SolveFn, memory_snapshot: MemoryFn,
                     result: AnalysisResult, budget: Budget,
                     query_records: Optional[list[QueryRecord]],
-                    telemetry) -> None:
+                    telemetry, reports: dict[int, BugReport]) -> None:
     """The seed per-candidate loop (shared engine, in submission order)."""
-    for candidate in candidates:
+    indices = range(len(candidates)) if pending is None else pending
+    for index in indices:
+        candidate = candidates[index]
         t0 = time.perf_counter()
         smt_result = solve_candidate(candidate)
         seconds = time.perf_counter() - t0
@@ -144,9 +195,9 @@ def _run_sequential(candidates: Iterable[BugCandidate],
                                    smt_result.decided_in_preprocess,
                                    smt_result.condition_nodes)
         feasible = smt_result.status is not SmtStatus.UNSAT
-        result.reports.append(BugReport(
+        reports[index] = BugReport(
             candidate, feasible, smt_result.decided_in_preprocess,
-            seconds, public_witness(smt_result.model)))
+            seconds, public_witness(smt_result.model))
         total, condition = memory_snapshot()
         result.memory_units = max(result.memory_units, total)
         result.condition_memory_units = max(
@@ -158,9 +209,11 @@ def _run_sequential(candidates: Iterable[BugCandidate],
 
 
 def _run_scheduled(candidates: list[BugCandidate],
+                   pending: Optional[list[int]],
                    execution: "ExecutionPlan", result: AnalysisResult,
                    budget: Budget,
-                   query_records: Optional[list[QueryRecord]]) -> None:
+                   query_records: Optional[list[QueryRecord]],
+                   reports: dict[int, BugReport]) -> None:
     """Dispatch the candidates through the plan's worker pool.
 
     Outcomes are assembled into reports even when a budget violation
@@ -170,7 +223,7 @@ def _run_scheduled(candidates: list[BugCandidate],
     scheduler = execution.make_scheduler(budget)
     outcomes: list["QueryOutcome"] = []
     try:
-        scheduler.run(candidates, sink=outcomes)
+        scheduler.run(candidates, sink=outcomes, indices=pending)
     finally:
         outcomes.sort(key=lambda outcome: outcome.index)
         for outcome in outcomes:
@@ -184,10 +237,10 @@ def _run_scheduled(candidates: list[BugCandidate],
                     outcome.status, outcome.seconds,
                     outcome.decided_in_preprocess,
                     outcome.condition_nodes))
-            result.reports.append(BugReport(
+            reports[outcome.index] = BugReport(
                 candidates[outcome.index], outcome.feasible,
                 outcome.decided_in_preprocess, outcome.seconds,
-                dict(outcome.witness)))
+                dict(outcome.witness))
             result.memory_units = max(result.memory_units,
                                       outcome.memory_units)
             result.condition_memory_units = max(

@@ -1,0 +1,273 @@
+"""Unit tests for the abstract-interpretation triage pass.
+
+Three layers: exhaustive interval-transfer soundness at a small width
+(every op, every concrete pair must land inside the abstract result),
+the sparse fixpoint on handwritten programs, and the triage verdicts on
+programs engineered to hit each of the three outcomes.
+"""
+
+from repro.absint import (CandidateTriage, Interval, Nullness, TriageVerdict,
+                          analyze_pdg, binary_interval)
+from repro.absint.transfer import wrap_range
+from repro.checkers import NullDereferenceChecker
+from repro.fusion import FusionEngine, prepare_pdg
+from repro.lang import BinOp, compile_source
+from repro.smt import to_signed
+from repro.sparse import collect_candidates
+
+WIDTH = 4
+MASK = (1 << WIDTH) - 1
+
+
+def concrete(op: BinOp, a: int, b: int) -> int:
+    """The interpreter's bit-level semantics (signed result)."""
+    au, bu = a & MASK, b & MASK
+    if op is BinOp.ADD:
+        bits = (au + bu) & MASK
+    elif op is BinOp.SUB:
+        bits = (au - bu) & MASK
+    elif op is BinOp.MUL:
+        bits = (au * bu) & MASK
+    elif op is BinOp.DIV:
+        bits = MASK if bu == 0 else (au // bu) & MASK
+    elif op is BinOp.REM:
+        bits = au if bu == 0 else au % bu
+    elif op is BinOp.SHL:
+        bits = 0 if bu >= WIDTH else (au << bu) & MASK
+    elif op is BinOp.SHR:
+        bits = 0 if bu >= WIDTH else au >> bu
+    elif op is BinOp.BAND:
+        bits = au & bu
+    elif op is BinOp.BOR:
+        bits = au | bu
+    elif op is BinOp.BXOR:
+        bits = au ^ bu
+    elif op is BinOp.LT:
+        bits = int(a < b)
+    elif op is BinOp.LE:
+        bits = int(a <= b)
+    elif op is BinOp.GT:
+        bits = int(a > b)
+    elif op is BinOp.GE:
+        bits = int(a >= b)
+    elif op is BinOp.EQ:
+        bits = int(au == bu)
+    elif op is BinOp.NE:
+        bits = int(au != bu)
+    elif op is BinOp.AND:
+        bits = int(bool(au) and bool(bu))
+    elif op is BinOp.OR:
+        bits = int(bool(au) or bool(bu))
+    else:
+        raise AssertionError(op)
+    return to_signed(bits, WIDTH)
+
+
+def all_values():
+    return range(-(1 << (WIDTH - 1)), 1 << (WIDTH - 1))
+
+
+def test_wrap_range_is_exact_or_top():
+    for lo in range(-20, 21):
+        for hi in range(lo, lo + 20):
+            box = wrap_range(lo, hi, WIDTH)
+            for x in range(lo, hi + 1):
+                assert box.contains(to_signed(x & MASK, WIDTH)), (lo, hi, x)
+
+
+def test_binary_transfer_sound_on_singletons():
+    """Exhaustive: op(a, b) is inside binary_interval([a,a], [b,b])."""
+    for op in BinOp:
+        for a in all_values():
+            for b in all_values():
+                box = binary_interval(op, Interval.const(a),
+                                      Interval.const(b), WIDTH)
+                assert box.contains(concrete(op, a, b)), (op, a, b, box)
+
+
+def test_binary_transfer_sound_on_ranges():
+    """Sampled ranges: every concrete pair stays inside the box."""
+    ranges = [Interval(-8, -1), Interval(-2, 3), Interval(0, 7),
+              Interval(1, 4), Interval.top(WIDTH), Interval.const(0)]
+    for op in BinOp:
+        for ia in ranges:
+            for ib in ranges:
+                box = binary_interval(op, ia, ib, WIDTH)
+                for a in range(ia.lo, ia.hi + 1):
+                    for b in range(ib.lo, ib.hi + 1):
+                        assert box.contains(concrete(op, a, b)), \
+                            (op, ia, ib, a, b, box)
+
+
+def test_interval_lattice_basics():
+    top = Interval.top(8)
+    five = Interval.const(5)
+    assert five.join(Interval.const(9)) == Interval(5, 9)
+    assert five.meet(Interval(0, 4)) is None
+    assert five.meet(Interval(5, 9)) == five
+    assert five.subset_of(top) and not top.subset_of(five)
+    assert Interval.const(1).definitely_true
+    assert Interval.const(0).definitely_false
+    assert not Interval(0, 1).definitely_true
+
+
+FIXPOINT_SRC = """
+fun main(a) {
+  x = 3;
+  y = x + 4;
+  if (a > 0) {
+    z = 1;
+  } else {
+    z = 2;
+  }
+  w = a + 1;
+  return y + z;
+}
+"""
+
+
+def test_fixpoint_constants_and_joins():
+    pdg = prepare_pdg(compile_source(FIXPOINT_SRC))
+    state = analyze_pdg(pdg)
+    assert state.var_value("main", "y").interval == Interval.const(7)
+    # The ite merge of z joins both arms.
+    joined = [state.value_of(v).interval for v in pdg.vertices
+              if v.function == "main" and v.var.name.startswith("z")]
+    assert Interval(1, 2) in joined, joined
+    # Parameters stay top: w = a + 1 cannot be narrowed.
+    assert state.var_value("main", "w").interval == Interval.top(
+        pdg.program.width)
+
+
+def test_fixpoint_nullness():
+    src = """
+    fun main(a) {
+      p = null;
+      q = 5;
+      deref(q);
+      return 0;
+    }
+    """
+    pdg = prepare_pdg(compile_source(src))
+    state = analyze_pdg(pdg)
+    assert state.var_value("main", "p").nullness is Nullness.NULL
+    # Null reduces the interval to the zero constant.
+    assert state.var_value("main", "p").interval == Interval.const(0)
+    assert state.var_value("main", "q").nullness is Nullness.NOT_NULL
+
+
+def _candidates(src):
+    pdg = prepare_pdg(compile_source(src))
+    checker = NullDereferenceChecker()
+    cands = collect_candidates(pdg, checker)
+    return pdg, checker, cands
+
+
+def test_triage_proves_feasible_straight_line():
+    src = """
+    fun main(a) {
+      p = null;
+      deref(p);
+      return 0;
+    }
+    """
+    pdg, checker, cands = _candidates(src)
+    assert cands
+    triage = CandidateTriage(pdg, checker)
+    decision = triage.decide(cands[0])
+    assert decision.verdict is TriageVerdict.PROVEN_FEASIBLE
+    assert isinstance(decision.witness, dict)
+
+
+def test_triage_proves_infeasible_contradictory_guard():
+    src = """
+    fun main(a) {
+      p = null;
+      if (a > 6) {
+        if (a < 3) {
+          deref(p);
+        }
+      }
+      return 0;
+    }
+    """
+    pdg, checker, cands = _candidates(src)
+    assert cands
+    triage = CandidateTriage(pdg, checker)
+    assert triage.decide(cands[0]).verdict is TriageVerdict.PROVEN_INFEASIBLE
+
+
+def test_triage_proves_infeasible_through_arithmetic():
+    src = """
+    fun main(a) {
+      p = null;
+      c = a + a;
+      d = c * 2;
+      if (d == 7) {
+        deref(p);
+      }
+      return 0;
+    }
+    """
+    pdg, checker, cands = _candidates(src)
+    assert cands
+    triage = CandidateTriage(pdg, checker)
+    assert triage.decide(cands[0]).verdict is TriageVerdict.PROVEN_INFEASIBLE
+
+
+def test_triage_proves_infeasible_antisymmetry():
+    src = """
+    fun main(c, d) {
+      p = null;
+      if (c < d) {
+        if (d < c) {
+          deref(p);
+        }
+      }
+      return 0;
+    }
+    """
+    pdg, checker, cands = _candidates(src)
+    assert cands
+    triage = CandidateTriage(pdg, checker)
+    assert triage.decide(cands[0]).verdict is TriageVerdict.PROVEN_INFEASIBLE
+
+
+def test_triage_defers_to_smt_when_unsure():
+    src = """
+    fun main(a) {
+      p = null;
+      if (a > 20) {
+        deref(p);
+      }
+      return 0;
+    }
+    """
+    pdg, checker, cands = _candidates(src)
+    assert cands
+    triage = CandidateTriage(pdg, checker)
+    assert triage.decide(cands[0]).verdict is TriageVerdict.NEEDS_SMT
+
+
+def test_triage_verdicts_match_solver():
+    """Every PROVEN_* verdict above agrees with the SMT engine."""
+    for src in [
+        "fun main(a) { p = null; deref(p); return 0; }",
+        """fun main(a) { p = null;
+           if (a > 6) { if (a < 3) { deref(p); } } return 0; }""",
+        """fun main(a) { p = null;
+           if (a > 20) { deref(p); } return 0; }""",
+    ]:
+        pdg = prepare_pdg(compile_source(src))
+        checker = NullDereferenceChecker()
+        triage = CandidateTriage(pdg, checker)
+        solved = FusionEngine(pdg).analyze(NullDereferenceChecker())
+        by_smt = {(r.candidate.source.index, r.candidate.sink.index):
+                  r.feasible for r in solved.reports}
+        for cand in collect_candidates(pdg, checker):
+            decision = triage.decide(cand)
+            if decision.verdict is TriageVerdict.NEEDS_SMT:
+                continue
+            key = (cand.source.index, cand.sink.index)
+            expected = decision.verdict is TriageVerdict.PROVEN_FEASIBLE
+            assert by_smt[key] == expected, (src, key, decision)

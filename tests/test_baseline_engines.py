@@ -1,9 +1,7 @@
 """Focused tests for the baseline engines' internals."""
 
-import pytest
-
 from repro.baselines import InferConfig, InferEngine, PinpointEngine
-from repro.baselines.pinpoint import PinpointConfig, make_pinpoint
+from repro.baselines.pinpoint import make_pinpoint
 from repro.checkers import NullDereferenceChecker, cwe23_checker
 from repro.fusion import prepare_pdg
 from repro.lang import compile_source

@@ -5,7 +5,6 @@ import pytest
 from repro.bench import (SUBJECTS, PrecisionRecall, evaluate_reports,
                          industrial_subjects, materialize, render_table,
                          run_engine, speedup, subject_by_name)
-from repro.bench.generator import GroundTruthBug
 from repro.bench.reporting import (fmt_failure, render_memory_breakdown,
                                    render_scatter_summary)
 from repro.checkers.base import AnalysisResult, BugCandidate, BugReport

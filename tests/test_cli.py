@@ -129,3 +129,115 @@ class TestVerboseScan:
               "--verbose", "--show-infeasible"])
         out = capsys.readouterr().out
         assert "INFEASIBLE" in out
+
+
+DIVZERO_SOURCE = """
+fun main(a) {
+  z = 0;
+  b = 4;
+  c = b - 4;
+  safe = a / 2;
+  bad = a / z;
+  worse = a % c;
+  return bad + worse + safe;
+}
+"""
+
+
+class TestLint:
+    def test_clean_file_exits_zero(self, source_file, capsys):
+        assert main(["lint", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "PDG OK" in out and "vertices" in out
+
+    def test_registry_subject(self, capsys):
+        assert main(["lint", "mcf"]) == 0
+        assert "PDG OK" in capsys.readouterr().out
+
+    def test_json_output(self, source_file, capsys):
+        assert main(["lint", source_file, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True and payload["errors"] == []
+
+    def test_stdin(self, monkeypatch, capsys):
+        import io
+        monkeypatch.setattr("sys.stdin",
+                            io.StringIO("fun f(a) { return a; }"))
+        assert main(["lint", "-"]) == 0
+
+    def test_parse_error_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.fl"
+        bad.write_text("fun f( { nope")
+        assert main(["lint", str(bad)]) == 2
+        assert "repro lint:" in capsys.readouterr().err
+
+    def test_type_error_exits_two(self, tmp_path, capsys):
+        bad = tmp_path / "bad.fl"
+        bad.write_text("fun f(a) { if (a) { b = 1; } return 0; }")
+        assert main(["lint", str(bad)]) == 2
+
+
+class TestTriageFlag:
+    def test_analyze_with_triage(self, source_file, capsys):
+        code = main(["analyze", "--subject", source_file, "--triage",
+                     "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert "triaged" in payload["summary"]
+        feasible = [f for f in payload["findings"] if f["feasible"]]
+        assert len(feasible) == 1
+        assert feasible[0]["source_function"] == "foo"
+
+    def test_triage_report_set_matches_no_triage(self, source_file,
+                                                 capsys):
+        main(["analyze", "--subject", source_file, "--json"])
+        base = json.loads(capsys.readouterr().out)["findings"]
+        main(["analyze", "--subject", source_file, "--triage", "--json"])
+        triaged = json.loads(capsys.readouterr().out)["findings"]
+        def strip(findings):
+            return [(f["source_function"], f["sink_function"],
+                     f["feasible"]) for f in findings]
+        assert strip(triaged) == strip(base)
+
+    def test_triage_rejected_for_infer(self, source_file, capsys):
+        code = main(["analyze", "--subject", source_file,
+                     "--engine", "infer", "--triage"])
+        assert code == 2
+        assert "path-sensitive" in capsys.readouterr().err
+
+    def test_triage_telemetry(self, source_file, tmp_path, capsys):
+        out = tmp_path / "telemetry.json"
+        main(["analyze", "--subject", source_file, "--triage",
+              "--telemetry", str(out)])
+        capsys.readouterr()
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro-exec-telemetry/2"
+        triage = payload["triage"]
+        assert triage["decided_infeasible"] + triage["decided_feasible"] \
+            + triage["sent_to_smt"] >= 1
+
+
+class TestDivZeroChecker:
+    def test_finds_constant_zero_divisors(self, tmp_path, capsys):
+        path = tmp_path / "div.fl"
+        path.write_text(DIVZERO_SOURCE)
+        code = main(["analyze", "--subject", str(path),
+                     "--checker", "div-zero", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        feasible = [f for f in payload["findings"] if f["feasible"]]
+        # `a / z` (literal zero) and `a % c` (constant-folded zero) are
+        # flagged; `a / 2` is not.
+        assert len(feasible) == 2
+        sinks = {f["sink"] for f in feasible}
+        assert any("/" in s for s in sinks)
+        assert any("%" in s for s in sinks)
+
+    def test_triage_composes_with_divzero(self, tmp_path, capsys):
+        path = tmp_path / "div.fl"
+        path.write_text(DIVZERO_SOURCE)
+        code = main(["analyze", "--subject", str(path),
+                     "--checker", "div-zero", "--triage", "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert len([f for f in payload["findings"] if f["feasible"]]) == 2

@@ -8,7 +8,6 @@ and conventional Pinpoint (Algorithm 2) must report exactly the same bugs
 match the generator's path-feasibility labels.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -8,7 +8,6 @@ IR on random inputs — the strongest cross-validation of the whole
 front-end + transformation chain.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,10 +1,8 @@
 """Focused tests for ir_based_smt_solve (Algorithms 4 and 6)."""
 
-import pytest
-
 from repro.checkers import NullDereferenceChecker
-from repro.fusion import (ConditionTransformer, GraphSolverConfig,
-                          IrBasedSmtSolver, prepare_pdg)
+from repro.fusion import (GraphSolverConfig, IrBasedSmtSolver,
+                          prepare_pdg)
 from repro.lang import compile_source
 from repro.pdg import compute_slice
 from repro.sparse import collect_candidates

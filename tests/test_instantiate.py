@@ -1,7 +1,5 @@
 """Tests for frame planning and condition assembly."""
 
-import pytest
-
 from repro.checkers import NullDereferenceChecker
 from repro.fusion import (ConditionTransformer, assemble_condition,
                           build_frame_plan, frame_boundary_constraints,

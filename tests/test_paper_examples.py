@@ -6,15 +6,12 @@ of Example 3.4, the quick path of Figure 3, the constant propagation of
 Figure 9).
 """
 
-import pytest
-
 from repro.checkers import NullDereferenceChecker, cwe402_checker
-from repro.fusion import (ConditionTransformer, FusionEngine,
-                          IrBasedSmtSolver, QuickPathTable, Shape,
-                          prepare_pdg)
+from repro.fusion import (FusionEngine, IrBasedSmtSolver,
+                          QuickPathTable, Shape, prepare_pdg)
 from repro.lang import compile_source
 from repro.pdg import compute_slice
-from repro.smt import SmtSolver, evaluate
+from repro.smt import SmtSolver
 from repro.sparse import collect_candidates
 
 #: Figure 7's function, with a deref sink standing in for the path's use

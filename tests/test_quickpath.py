@@ -1,7 +1,5 @@
 """Tests for quick-path summaries (Section 3.2.3)."""
 
-import pytest
-
 from repro.fusion import QuickPathTable, Shape
 from repro.lang import compile_source
 from repro.pdg import build_pdg

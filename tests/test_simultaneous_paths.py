@@ -7,9 +7,7 @@ that are individually feasible but guarded by contradictory conditions
 must be rejected jointly.
 """
 
-import pytest
-
-from repro.checkers import TaintChecker, cwe402_checker
+from repro.checkers import cwe402_checker
 from repro.fusion import FusionEngine, prepare_pdg
 from repro.lang import compile_source
 from repro.sparse import FrameTable, collect_candidates

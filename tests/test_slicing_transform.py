@@ -1,12 +1,10 @@
 """Tests for Rules (1)-(8): slicing and the allotropic transformation."""
 
-import pytest
-
 from repro.checkers import NullDereferenceChecker
 from repro.fusion import ConditionTransformer, assemble_condition
 from repro.lang import compile_source
 from repro.pdg import build_pdg, compute_slice
-from repro.smt import SmtSolver, constraint_set_size
+from repro.smt import SmtSolver
 from repro.sparse import collect_candidates
 
 GUARDED = """

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.smt import BOOL, Op, Term, TermManager, bitvec, to_sexpr
+from repro.smt import BOOL, TermManager, bitvec, to_sexpr
 
 
 @pytest.fixture

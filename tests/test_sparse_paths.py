@@ -1,7 +1,5 @@
 """Tests for dependence paths, frames, and sparse candidate collection."""
 
-import pytest
-
 from repro.checkers import NullDereferenceChecker, cwe23_checker
 from repro.lang import compile_source
 from repro.pdg import EdgeKind, build_pdg

@@ -5,7 +5,6 @@ The key property: summary-based discovery finds exactly the
 differentially fuzzed over generated subjects.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

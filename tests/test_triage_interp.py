@@ -1,0 +1,136 @@
+"""Hypothesis differential: abstract triage facts vs concrete execution.
+
+Two properties ground the absint pass in `lang.interp`'s semantics:
+
+* **Forward soundness** — on fuzzed extern-free functions, the concrete
+  return value (and its taint/null provenance) always lies inside the
+  fixpoint's abstract value for the returned definition, whatever the
+  arguments.
+* **No wrong PROVEN_* verdicts** — on generated benchmark subjects,
+  every ``PROVEN_FEASIBLE`` candidate's abstract witness replays
+  concretely into a null reaching the sink, and no candidate that the
+  generator labels path-infeasible is ever proven feasible.
+  ``NEEDS_SMT`` is always allowed.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.absint import CandidateTriage, TriageVerdict, analyze_pdg
+from repro.bench import SubjectSpec, generate_subject
+from repro.checkers import NullDereferenceChecker
+from repro.fusion import prepare_pdg
+from repro.lang import Interpreter, Return, compile_source
+from repro.smt import to_signed
+from repro.sparse import collect_candidates
+
+
+class ExprFuzzer:
+    """Random extern-free function texts from a seeded RNG."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+        self.counter = 0
+
+    def expr(self, vars_, depth=0) -> str:
+        rng = self.rng
+        if depth > 2 or rng.random() < 0.35:
+            if rng.random() < 0.5 and vars_:
+                return rng.choice(vars_)
+            return str(rng.randint(0, 40))
+        op = rng.choice(["+", "-", "*", "/", "%", "&", "|", "^",
+                         "<<", ">>"])
+        left = self.expr(vars_, depth + 1)
+        right = self.expr(vars_, depth + 1)
+        if op in ("<<", ">>"):
+            right = str(rng.randint(0, 3))
+        return f"({left} {op} {right})"
+
+    def cond(self, vars_) -> str:
+        op = self.rng.choice(["<", "<=", ">", ">=", "==", "!="])
+        return f"{self.expr(vars_, 2)} {op} {self.expr(vars_, 2)}"
+
+    def function(self) -> str:
+        rng = self.rng
+        vars_ = ["a", "b"]
+        lines = []
+        for _ in range(rng.randint(2, 6)):
+            name = f"v{self.counter}"
+            self.counter += 1
+            if rng.random() < 0.25:
+                lines.append(f"  if ({self.cond(vars_)}) {{")
+                lines.append(f"    {name} = {self.expr(vars_)};")
+                lines.append("  } else {")
+                lines.append(f"    {name} = {self.expr(vars_)};")
+                lines.append("  }")
+            else:
+                lines.append(f"  {name} = {self.expr(vars_)};")
+            vars_.append(name)
+        ret = rng.choice(vars_)
+        return "fun f(a, b) {\n" + "\n".join(lines) + \
+            f"\n  return {ret};\n}}"
+
+
+def return_vertices(pdg, function):
+    return [v for v in pdg.vertices
+            if v.function == function and isinstance(v.stmt, Return)]
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 10**9), a=st.integers(0, 255),
+       b=st.integers(0, 255))
+def test_concrete_return_value_inside_abstract_interval(seed, a, b):
+    src = ExprFuzzer(random.Random(seed)).function()
+    program = compile_source(src)
+    pdg = prepare_pdg(program)
+    state = analyze_pdg(pdg)
+
+    concrete = Interpreter(program).run("f", (a, b)).return_value
+    signed = to_signed(concrete.bits, program.width)
+    for vertex in return_vertices(pdg, "f"):
+        abstract = state.value_of(vertex)
+        assert not abstract.is_bottom, src
+        assert abstract.interval.contains(signed), \
+            (src, a, b, signed, abstract)
+        assert concrete.taints <= frozenset(abstract.taints), src
+        if not abstract.nullness.may_be_null:
+            assert not concrete.is_null, src
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 10**6))
+def test_proven_verdicts_never_contradict_execution(seed):
+    spec = SubjectSpec("fuzz-triage-interp", seed=seed, num_functions=6,
+                       layers=3, avg_stmts=5, call_fanout=2,
+                       null_bugs=(1, 1, 1))
+    subject = generate_subject(spec)
+    program = subject.program
+    pdg = prepare_pdg(program)
+    checker = NullDereferenceChecker()
+    triage = CandidateTriage(pdg, checker)
+
+    feasible_sources = {b.source_function
+                       for b in subject.truth_for("null-deref")
+                       if b.path_feasible}
+
+    for candidate in collect_candidates(pdg, checker):
+        decision = triage.decide(candidate)
+        if decision.verdict is TriageVerdict.NEEDS_SMT:
+            continue  # always allowed
+        if decision.verdict is TriageVerdict.PROVEN_FEASIBLE:
+            # A proven-feasible bug must be a labelled-feasible one...
+            assert candidate.source.function in feasible_sources, \
+                (seed, candidate)
+            # ...and its abstract witness must replay concretely.
+            root = candidate.path.source.frame
+            while root.parent is not None and not root.via_return:
+                root = root.parent
+            fn = program.functions[root.function]
+            args = [decision.witness.get(p.name, 0) for p in fn.params]
+            execution = Interpreter(program).run(root.function, args)
+            sink_callee = candidate.sink.stmt.callee
+            assert any(e.passed_null
+                       for e in execution.events_for(sink_callee)), \
+                (seed, candidate, decision.witness)
