@@ -33,7 +33,7 @@ from repro.exec.scheduler import (ExecConfig, ExecutionPlan, QueryFn,
 from repro.exec.telemetry import Telemetry
 from repro.fusion.instantiate import assemble_condition
 from repro.fusion.transform import ConditionTransformer
-from repro.limits import Budget
+from repro.limits import Budget, Deadline, QueryDeadlineExceeded
 from repro.pdg.graph import ProgramDependenceGraph
 from repro.pdg.slicing import Slice, compute_slice
 from repro.smt.preprocess import constraint_set_size
@@ -71,6 +71,9 @@ class PinpointEngine:
         self.cached_condition_nodes = 0
         self.peak_condition_nodes = 0
         self.query_records: list[QueryRecord] = []
+        #: The in-flight query's deadline; set by :meth:`_solve_one` so
+        #: the recursive expansion helpers can observe it.
+        self._deadline: Optional[Deadline] = None
 
     @property
     def name(self) -> str:
@@ -97,6 +100,8 @@ class PinpointEngine:
 
     def _expand(self, fn: str, needed_of,
                 skip: frozenset[int]) -> list[Term]:
+        if self._deadline is not None:
+            self._deadline.check("summary expansion")
         mgr = self.transformer.manager
         template = self.transformer.template(fn, needed_of(fn))
         out = list(template.constraints)
@@ -134,21 +139,31 @@ class PinpointEngine:
             cache = SliceCache(exec_config.slice_cache_capacity)
 
         def solve(candidate: BugCandidate) -> SmtResult:
+            # One deadline covers the whole query — slicing included.
+            # QueryDeadlineExceeded escaping from the slice stage is
+            # converted to UNKNOWN by the driver's sequential loop.
+            deadline = Deadline.after(self.config.solver.time_limit)
             if cache is not None:
-                the_slice = cache.get(self.pdg, [candidate.path])
+                the_slice = cache.get(self.pdg, [candidate.path],
+                                      deadline=deadline)
             else:
-                the_slice = compute_slice(self.pdg, [candidate.path])
-            return self._solve_one(candidate, the_slice)
+                the_slice = compute_slice(self.pdg, [candidate.path],
+                                          deadline=deadline)
+            return self._solve_one(candidate, the_slice, deadline=deadline)
 
         execution = None
         if exec_config is not None or telemetry is not None:
             config = exec_config if exec_config is not None \
                 else ExecConfig()
             spec = None
-            if config.effective_jobs > 1:
+            # Fault plans need the worker path even at jobs=1 (the
+            # injection hooks live in the scheduler's _WorkerState).
+            if config.effective_jobs > 1 or config.fault_plan is not None:
                 spec = WorkerSpec(self.pdg, checker, self.config.sparse,
                                   pinpoint_query_factory,
-                                  replace(self.config, budget=None))
+                                  replace(self.config, budget=None),
+                                  query_timeout=self.config.solver
+                                  .time_limit)
             execution = ExecutionPlan(config, spec, telemetry)
 
         result = run_analysis(self.pdg, checker, self.name, solve,
@@ -162,13 +177,25 @@ class PinpointEngine:
                                    capacity=cache.capacity)
         return result
 
-    def _solve_one(self, candidate: BugCandidate,
-                   the_slice: Slice) -> SmtResult:
-        """Decide one candidate against an already-computed slice."""
-        if self.config.abstraction_refinement:
-            return self._solve_with_refinement(candidate, the_slice)
-        constraints = self._full_condition(candidate, the_slice)
-        return self.smt.check(constraints)
+    def _solve_one(self, candidate: BugCandidate, the_slice: Slice,
+                   deadline: Optional[Deadline] = None) -> SmtResult:
+        """Decide one candidate against an already-computed slice,
+        bounded by the per-query deadline (defaults to the solver
+        config's ``time_limit``).  Overrunning it during summary
+        expansion yields UNKNOWN, never an exception."""
+        if deadline is None:
+            deadline = Deadline.after(self.config.solver.time_limit)
+        self._deadline = deadline
+        try:
+            if self.config.abstraction_refinement:
+                return self._solve_with_refinement(candidate, the_slice,
+                                                   deadline=deadline)
+            constraints = self._full_condition(candidate, the_slice)
+            return self.smt.check(constraints, deadline=deadline)
+        except QueryDeadlineExceeded:
+            return SmtResult(SmtStatus.UNKNOWN)
+        finally:
+            self._deadline = None
 
     def _full_condition(self, candidate: BugCandidate,
                         the_slice: Slice,
@@ -203,6 +230,8 @@ class PinpointEngine:
                         depth: int) -> list[Term]:
         """Expansion truncated at ``depth`` call levels (callees beyond the
         bound are left unconstrained — the coarse abstraction)."""
+        if self._deadline is not None:
+            self._deadline.check("summary expansion")
         mgr = self.transformer.manager
         template = self.transformer.template(fn, needed_of(fn))
         out = list(template.constraints)
@@ -221,15 +250,18 @@ class PinpointEngine:
 
     def _solve_with_refinement(self, candidate: BugCandidate,
                                the_slice: Slice,
-                               max_rounds: int = 8) -> SmtResult:
+                               max_rounds: int = 8,
+                               deadline: Optional[Deadline] = None
+                               ) -> SmtResult:
         """Solve with a growing abstraction: an UNSAT verdict at any level
         is final; SAT verdicts trigger deeper expansion (each round is a
-        fresh SMT query — the cost the paper observes for AR)."""
+        fresh SMT query — the cost the paper observes for AR).  All
+        rounds share the one per-query deadline."""
         result: Optional[SmtResult] = None
         for depth in range(max_rounds):
             constraints = self._full_condition(candidate, the_slice,
                                                max_depth=depth)
-            result = self.smt.check(constraints)
+            result = self.smt.check(constraints, deadline=deadline)
             self._check_memory()
             if result.status is SmtStatus.UNSAT:
                 return result
@@ -263,10 +295,11 @@ def pinpoint_query_factory(pdg: ProgramDependenceGraph,
     across workers any more than Pinpoint's do across machines.
     """
 
-    def query(candidate: BugCandidate, the_slice: Slice) \
+    def query(candidate: BugCandidate, the_slice: Slice,
+              deadline: Optional[Deadline] = None) \
             -> tuple[SmtResult, tuple[int, int]]:
         engine = PinpointEngine(pdg, config)
-        result = engine._solve_one(candidate, the_slice)
+        result = engine._solve_one(candidate, the_slice, deadline=deadline)
         return result, engine._memory_snapshot()
 
     return query

@@ -21,12 +21,14 @@ from repro.checkers.base import AnalysisResult, Checker
 from repro.checkers.divzero import DivByZeroChecker
 from repro.checkers.nullderef import NullDereferenceChecker
 from repro.checkers.taint import cwe23_checker, cwe402_checker
+from repro.exec.faults import FaultPlan, FaultPolicy
 from repro.exec.scheduler import ExecConfig
 from repro.exec.telemetry import Telemetry
 from repro.fusion.engine import FusionConfig, FusionEngine, prepare_pdg
 from repro.fusion.graph_solver import GraphSolverConfig
 from repro.limits import Budget
 from repro.pdg.graph import ProgramDependenceGraph
+from repro.smt.solver import SolverConfig
 from repro.sparse.driver import QueryRecord
 
 #: Scaled-down defaults for the paper's 12 h / 100 GB / 10 s-per-query caps.
@@ -70,6 +72,8 @@ class RunOutcome:
             "memory_units": self.result.memory_units,
             "condition_units": self.result.condition_memory_units,
             "queries": self.result.smt_queries,
+            "unknown": self.result.unknown_queries,
+            "errors": self.result.error_queries,
             "failure": self.result.failure,
         }
 
@@ -81,18 +85,26 @@ def pdg_for(subject_name: str) -> ProgramDependenceGraph:
 
 
 def make_engine(engine: str, pdg: ProgramDependenceGraph,
-                budget: Optional[Budget]):
+                budget: Optional[Budget],
+                query_timeout: Optional[float] = None):
+    """``query_timeout`` overrides the engine solver's default 10 s
+    per-query cap; the deadline it induces covers slicing through the
+    SAT search (see docs/robustness.md)."""
+    smt = SolverConfig(time_limit=query_timeout) \
+        if query_timeout is not None else SolverConfig()
     if engine == "fusion":
-        return FusionEngine(pdg, FusionConfig(budget=budget))
+        return FusionEngine(pdg, FusionConfig(
+            solver=GraphSolverConfig(solver=smt), budget=budget))
     if engine == "fusion-unopt":
-        config = FusionConfig(solver=GraphSolverConfig(optimized=False),
-                              budget=budget)
+        config = FusionConfig(
+            solver=GraphSolverConfig(optimized=False, solver=smt),
+            budget=budget)
         return FusionEngine(pdg, config)
     if engine == "infer":
         return InferEngine(pdg, InferConfig(budget=budget))
     if engine.startswith("pinpoint"):
         variant = engine.partition("+")[2].lower()
-        return make_pinpoint(pdg, variant, budget=budget)
+        return make_pinpoint(pdg, variant, budget=budget, solver=smt)
     raise ValueError(f"unknown engine {engine!r}")
 
 
@@ -101,20 +113,27 @@ def run_engine(subject_name: str, engine: str, checker_name: str,
                memory_budget: int = DEFAULT_MEMORY_BUDGET,
                jobs: int = 1, backend: str = "auto",
                telemetry: Optional[Telemetry] = None,
-               triage: bool = False) -> RunOutcome:
+               triage: bool = False,
+               query_timeout: Optional[float] = None,
+               max_retries: Optional[int] = None,
+               on_error: str = "unknown",
+               fault_plan: Optional[FaultPlan] = None) -> RunOutcome:
     """Run one (engine, checker) pair on one subject.
 
     ``jobs=1`` (the default) is the seed sequential path — benchmark
     numbers for Table 3 / Figure 11 are unchanged.  ``jobs > 1`` routes
     feasibility queries through the :mod:`repro.exec` scheduler;
     ``triage=True`` enables the absint pre-pass on the path-sensitive
-    engines.
+    engines.  ``query_timeout``/``max_retries``/``on_error`` tune the
+    fault-tolerance layer, and ``fault_plan`` injects deterministic
+    faults (CI resilience matrix).
     """
     subject = materialize(subject_name)
     pdg = pdg_for(subject_name)
     budget = Budget(max_seconds=time_budget,
                     max_memory_units=memory_budget)
-    engine_obj = make_engine(engine, pdg, budget)
+    engine_obj = make_engine(engine, pdg, budget,
+                             query_timeout=query_timeout)
     checker: Checker = CHECKERS[checker_name]()
     kwargs = {}
     if triage:
@@ -122,10 +141,20 @@ def run_engine(subject_name: str, engine: str, checker_name: str,
             raise ValueError("triage requires a path-sensitive engine; "
                              "infer has no per-candidate SMT stage")
         kwargs["triage"] = True
-    if jobs == 1 and backend == "auto" and telemetry is None:
+    policy_kwargs = {"on_error": on_error}
+    if query_timeout is not None:
+        policy_kwargs["query_timeout"] = query_timeout
+    if max_retries is not None:
+        policy_kwargs["max_retries"] = max_retries
+    default_faults = (on_error == "unknown" and max_retries is None
+                      and fault_plan is None)
+    if jobs == 1 and backend == "auto" and telemetry is None \
+            and default_faults and query_timeout is None:
         result = engine_obj.analyze(checker, **kwargs)
     else:
-        exec_config = ExecConfig(jobs=jobs, backend=backend)
+        exec_config = ExecConfig(jobs=jobs, backend=backend,
+                                 faults=FaultPolicy(**policy_kwargs),
+                                 fault_plan=fault_plan)
         result = engine_obj.analyze(checker, exec_config=exec_config,
                                     telemetry=telemetry, **kwargs)
     if telemetry is not None:

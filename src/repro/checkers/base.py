@@ -113,6 +113,10 @@ class AnalysisResult:
     #: still reports them as feasible, but they are tracked separately so
     #: budget-sensitivity sweeps can tell "proven" from "assumed" bugs.
     unknown_queries: int = 0
+    #: Queries that failed (exception or deadline overrun) and were
+    #: isolated to an UNKNOWN verdict instead of aborting the run (see
+    #: docs/robustness.md).  A subset of ``unknown_queries``.
+    error_queries: int = 0
     #: Candidates the absint triage stage settled without an SMT query.
     triage_decided_infeasible: int = 0
     triage_decided_feasible: int = 0
@@ -135,9 +139,11 @@ class AnalysisResult:
         status = self.failure if self.failure else "ok"
         unknown = f", {self.unknown_queries} unknown" \
             if self.unknown_queries else ""
+        errors = f", {self.error_queries} errored" \
+            if self.error_queries else ""
         triaged = f", {self.triage_decided} triaged" \
             if self.triage_decided else ""
         return (f"{self.engine}/{self.checker}: {len(self.bugs)} bugs / "
                 f"{self.candidates} candidates, {self.smt_queries} queries"
-                f"{unknown}{triaged}, {self.wall_time:.2f}s, "
+                f"{unknown}{errors}{triaged}, {self.wall_time:.2f}s, "
                 f"{self.memory_units} mem units [{status}]")

@@ -125,20 +125,43 @@ def _add_exec_arguments(parser: argparse.ArgumentParser) -> None:
                              "off; default off)")
     parser.add_argument("--telemetry", metavar="FILE",
                         help="write structured run telemetry as JSON")
+    parser.add_argument("--query-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-query wall-clock cap covering slicing "
+                             "through the SAT search (default: the engine "
+                             "solver's 10 s limit; overruns report "
+                             "UNKNOWN, never abort the run)")
+    parser.add_argument("--max-retries", type=int, default=None,
+                        metavar="N",
+                        help="batch re-executions / pool rebuilds before "
+                             "degrading (default 2)")
+    parser.add_argument("--on-error", default="unknown",
+                        choices=("unknown", "abort"),
+                        help="failed query handling: isolate as UNKNOWN "
+                             "(default) or abort the run")
+    parser.add_argument("--fault-plan", metavar="SPEC", default=None,
+                        help="inject deterministic faults, e.g. "
+                             "'raise=3,7;delay=0:0.5;crash=1' "
+                             "(testing/CI only)")
 
 
-def _make_engine(name: str, pdg, want_model: bool):
+def _make_engine(name: str, pdg, want_model: bool,
+                 query_timeout: Optional[float] = None):
+    from repro.smt.solver import SolverConfig
+
+    smt = SolverConfig(time_limit=query_timeout) \
+        if query_timeout is not None else SolverConfig()
     if name == "fusion":
         return FusionEngine(pdg, FusionConfig(
-            solver=GraphSolverConfig(want_model=want_model)))
+            solver=GraphSolverConfig(want_model=want_model, solver=smt)))
     if name == "fusion-unopt":
         return FusionEngine(pdg, FusionConfig(
             solver=GraphSolverConfig(optimized=False,
-                                     want_model=want_model)))
+                                     want_model=want_model, solver=smt)))
     if name == "infer":
         return InferEngine(pdg)
     variant = name.partition("+")[2]
-    return make_pinpoint(pdg, variant)
+    return make_pinpoint(pdg, variant, solver=smt)
 
 
 def cmd_scan(args: argparse.Namespace) -> int:
@@ -224,15 +247,30 @@ def cmd_subjects(_args: argparse.Namespace) -> int:
 
 def _exec_options(args: argparse.Namespace):
     """(ExecConfig | None, Telemetry | None) from the shared exec flags."""
-    from repro.exec import ExecConfig, Telemetry
+    from repro.exec import ExecConfig, FaultPlan, FaultPolicy, Telemetry
 
     telemetry = Telemetry() if args.telemetry else None
+    policy_kwargs = {"on_error": args.on_error}
+    if args.query_timeout is not None:
+        policy_kwargs["query_timeout"] = args.query_timeout
+    if args.max_retries is not None:
+        policy_kwargs["max_retries"] = args.max_retries
+    fault_plan = None
+    if args.fault_plan:
+        try:
+            fault_plan = FaultPlan.parse(args.fault_plan)
+        except ValueError as error:
+            raise SystemExit(f"repro: bad --fault-plan: {error}")
     plain = (args.jobs == 1 and args.backend == "auto"
-             and args.batch_size == 0)
+             and args.batch_size == 0 and args.on_error == "unknown"
+             and args.query_timeout is None and args.max_retries is None
+             and fault_plan is None)
     if plain and telemetry is None:
         return None, None
     return ExecConfig(jobs=args.jobs, backend=args.backend,
-                      batch_size=args.batch_size), telemetry
+                      batch_size=args.batch_size,
+                      faults=FaultPolicy(**policy_kwargs),
+                      fault_plan=fault_plan), telemetry
 
 
 def _write_telemetry(args: argparse.Namespace, telemetry) -> bool:
@@ -254,11 +292,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print("repro bench: --triage requires a path-sensitive engine "
               "(infer has no SMT stage)", file=sys.stderr)
         return 2
-    _, telemetry = _exec_options(args)
+    exec_config, telemetry = _exec_options(args)
+    fault_plan = exec_config.fault_plan if exec_config is not None else None
     outcome = run_engine(args.subject, args.engine, args.checker,
                          time_budget=args.time_budget,
                          jobs=args.jobs, backend=args.backend,
-                         telemetry=telemetry, triage=args.triage)
+                         telemetry=telemetry, triage=args.triage,
+                         query_timeout=args.query_timeout,
+                         max_retries=args.max_retries,
+                         on_error=args.on_error,
+                         fault_plan=fault_plan)
     print(json.dumps(outcome.row(), indent=2))
     if not _write_telemetry(args, telemetry):
         return 2
@@ -290,7 +333,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     exec_config, telemetry = _exec_options(args)
     program = _resolve_subject_program(args.subject)
     pdg = prepare_pdg(program)
-    engine = _make_engine(args.engine, pdg, want_model=True)
+    engine = _make_engine(args.engine, pdg, want_model=True,
+                          query_timeout=args.query_timeout)
     checker = CHECKER_FACTORIES[args.checker]()
     kwargs = {"triage": True} if args.triage else {}
     result = engine.analyze(checker, exec_config=exec_config,

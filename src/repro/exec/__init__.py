@@ -1,7 +1,10 @@
 """Query-execution layer: parallel batched solving, slice memoization,
-and analysis telemetry (see ``docs/parallelism.md``)."""
+fault tolerance, and analysis telemetry (see ``docs/parallelism.md``
+and ``docs/robustness.md``)."""
 
 from repro.exec.cache import SliceCache, path_fingerprint
+from repro.exec.faults import (FaultPlan, FaultPolicy, InjectedFault,
+                               InjectedQueryError, WorkerCrash)
 from repro.exec.scheduler import (BACKENDS, ExecConfig, ExecutionPlan,
                                   QueryOutcome, QueryScheduler, WorkerSpec)
 from repro.exec.telemetry import SCHEMA as TELEMETRY_SCHEMA
@@ -9,6 +12,8 @@ from repro.exec.telemetry import Telemetry
 
 __all__ = [
     "SliceCache", "path_fingerprint",
+    "FaultPlan", "FaultPolicy", "InjectedFault", "InjectedQueryError",
+    "WorkerCrash",
     "BACKENDS", "ExecConfig", "ExecutionPlan", "QueryOutcome",
     "QueryScheduler", "WorkerSpec",
     "Telemetry", "TELEMETRY_SCHEMA",

@@ -25,6 +25,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
+from repro.limits import Deadline
 from repro.pdg.graph import ProgramDependenceGraph, Vertex
 from repro.pdg.slicing import Requirement, Slice, compute_slice
 from repro.sparse.paths import DependencePath, Frame
@@ -95,13 +96,18 @@ class SliceCache:
             return self.hits, self.misses, self.evictions
 
     def get(self, pdg: ProgramDependenceGraph,
-            paths: Iterable[DependencePath]) -> Slice:
-        """The slice of ``paths``, memoized up to frame renaming."""
+            paths: Iterable[DependencePath],
+            deadline: Optional[Deadline] = None) -> Slice:
+        """The slice of ``paths``, memoized up to frame renaming.
+
+        ``deadline`` bounds a cache *miss* (the fresh ``compute_slice``);
+        hits rehydrate in negligible time and are never aborted.
+        """
         paths = list(paths)
         if self.capacity == 0:
             with self._lock:
                 self.misses += 1
-            return compute_slice(pdg, paths)
+            return compute_slice(pdg, paths, deadline)
 
         key, frames, canon_by_fid = path_fingerprint(paths)
         with self._lock:
@@ -114,7 +120,7 @@ class SliceCache:
         if entry is not None:
             return self._rehydrate(entry, frames)
 
-        the_slice = compute_slice(pdg, paths)
+        the_slice = compute_slice(pdg, paths, deadline)
         entry = _CachedSlice(
             needed={fn: frozenset(vs)
                     for fn, vs in the_slice.needed.items()},

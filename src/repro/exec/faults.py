@@ -1,0 +1,216 @@
+"""Deterministic fault injection for the query-execution layer.
+
+The scheduler's fault-tolerance contract ("any injected fault changes at
+most the faulted queries' statuses, never the surviving verdicts or their
+order") is only trustworthy if faults can be reproduced on demand.  This
+module provides the injectable :class:`FaultPlan` — index-keyed (faults
+name candidate indices and batch ordinals, both deterministic) and
+seedable (:meth:`FaultPlan.seeded`) — plus the :class:`FaultPolicy` knobs
+that govern how the scheduler reacts to faults, injected or real.
+
+Fault kinds (see ``docs/robustness.md``):
+
+* **raise in query K** — the worker raises :class:`InjectedQueryError`
+  just before solving candidate ``K``; per-query isolation must convert
+  it to an UNKNOWN outcome with the error preserved for telemetry.
+* **delay query K** — the worker simulates a pathological query by
+  sleeping in small deadline-checked ticks, so a configured per-query
+  deadline aborts it (UNKNOWN) and an unlimited one merely runs late.
+* **crash worker on batch N** — a *process* worker SIGKILLs itself (a
+  real worker death, surfacing as ``BrokenProcessPool`` in the parent); a
+  thread/inline worker raises :class:`WorkerCrash` for the whole batch.
+  ``crash_times`` bounds how many attempts of batch ``N`` die, so requeue
+  tests can prove recovery while ``crash_times`` larger than the retry
+  budget exercises the full degradation ladder.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from repro.limits import Deadline
+
+#: Injected delays sleep in ticks this long, checking the query deadline
+#: between ticks — the cooperative-cancellation model every real stage
+#: (slicing, preprocessing, SAT search) follows.
+DELAY_TICK_SECONDS = 0.01
+
+
+class InjectedFault(Exception):
+    """Base class for deliberately injected failures."""
+
+
+class InjectedQueryError(InjectedFault):
+    """An injected per-query failure (isolated to one candidate)."""
+
+
+class WorkerCrash(InjectedFault):
+    """An injected whole-batch worker death (thread/inline backends)."""
+
+
+@dataclass(frozen=True)
+class FaultPolicy:
+    """How the scheduler reacts to per-query and per-batch failures."""
+
+    #: ``unknown`` — isolate failures per query/batch and degrade to
+    #: UNKNOWN verdicts; ``abort`` — absorb completed sibling results,
+    #: then propagate the first failure (the seed behavior).
+    on_error: str = "unknown"
+    #: Per-query wall-clock cap covering slicing through the SAT search;
+    #: ``None`` defers to the engine solver's own ``time_limit``.
+    query_timeout: Optional[float] = None
+    #: Bounded retries, used at two granularities: pool rebuilds per
+    #: ladder level after worker death, and re-executions of a batch
+    #: that raised, before its queries are synthesized as UNKNOWN.
+    max_retries: int = 2
+    #: Base backoff before a retry; scaled linearly by the attempt count.
+    retry_backoff: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.on_error not in ("unknown", "abort"):
+            raise ValueError(
+                f"on_error must be 'unknown' or 'abort', "
+                f"got {self.on_error!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic, index-keyed set of faults to inject into one run.
+
+    Picklable by value: the process backend ships the plan to workers in
+    the pool initializer.  An empty plan injects nothing.
+    """
+
+    #: Candidate indices whose query raises :class:`InjectedQueryError`.
+    raise_on_query: frozenset[int] = frozenset()
+    #: Candidate index -> seconds of injected (deadline-checked) delay.
+    delay_on_query: Mapping[int, float] = field(default_factory=dict)
+    #: Batch ordinals (submission order) whose worker dies at batch start.
+    crash_on_batch: frozenset[int] = frozenset()
+    #: How many attempts of a crash-faulted batch die before it succeeds.
+    crash_times: int = 1
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self.raise_on_query or self.delay_on_query
+                    or self.crash_on_batch)
+
+    # ------------------------------------------------------------------ #
+    # Injection hooks (called from worker code)
+    # ------------------------------------------------------------------ #
+
+    def crashes(self, ordinal: Optional[int], attempt: int) -> bool:
+        return ordinal is not None and ordinal in self.crash_on_batch \
+            and attempt < self.crash_times
+
+    def crash_worker(self, ordinal: Optional[int], attempt: int,
+                     process_worker: bool) -> None:
+        """Die if the plan says this batch attempt crashes its worker."""
+        if not self.crashes(ordinal, attempt):
+            return
+        if process_worker:
+            # A real, unclean worker death: the parent observes
+            # BrokenProcessPool, exactly as if the OOM killer struck.
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise WorkerCrash(
+            f"injected worker crash on batch {ordinal} "
+            f"(attempt {attempt})")
+
+    def apply_query(self, index: int,
+                    deadline: Optional[Deadline] = None) -> None:
+        """Run the per-query injections for candidate ``index``."""
+        delay = self.delay_on_query.get(index)
+        if delay is not None:
+            stop = time.monotonic() + delay
+            while time.monotonic() < stop:
+                if deadline is not None:
+                    deadline.check("injected delay")
+                time.sleep(min(DELAY_TICK_SECONDS,
+                               max(0.0, stop - time.monotonic())))
+        if index in self.raise_on_query:
+            raise InjectedQueryError(f"injected fault in query {index}")
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse the CLI/CI fault-plan syntax.
+
+        Semicolon-separated clauses: ``raise=I[,I...]``,
+        ``delay=I:SECONDS[,I:SECONDS...]``, ``crash=N[,N...]``,
+        ``crash-times=K``.  Example::
+
+            raise=3,7;delay=0:0.5;crash=1;crash-times=2
+        """
+        raises: set[int] = set()
+        delays: dict[int, float] = {}
+        crashes: set[int] = set()
+        crash_times = 1
+        for clause in spec.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            key, sep, value = clause.partition("=")
+            key = key.strip()
+            if not sep:
+                raise ValueError(f"malformed fault clause {clause!r}")
+            try:
+                if key == "raise":
+                    raises.update(int(i) for i in value.split(","))
+                elif key == "delay":
+                    for item in value.split(","):
+                        idx, _, secs = item.partition(":")
+                        delays[int(idx)] = float(secs)
+                elif key == "crash":
+                    crashes.update(int(i) for i in value.split(","))
+                elif key == "crash-times":
+                    crash_times = int(value)
+                else:
+                    raise ValueError(f"unknown fault kind {key!r}")
+            except ValueError as error:
+                if "fault" in str(error):
+                    raise
+                raise ValueError(
+                    f"malformed fault clause {clause!r}") from error
+        return cls(frozenset(raises), delays, frozenset(crashes),
+                   crash_times)
+
+    @classmethod
+    def seeded(cls, seed: int, num_queries: int, num_batches: int = 0,
+               raise_fraction: float = 0.25,
+               crash_batches: int = 1) -> "FaultPlan":
+        """A reproducible plan over a run of known size.
+
+        The same ``(seed, num_queries, num_batches)`` always yields the
+        same plan, so a CI matrix entry can name its faults by seed.
+        """
+        rng = random.Random(seed)
+        count = max(1, int(num_queries * raise_fraction))
+        raises = frozenset(rng.sample(range(num_queries),
+                                      min(count, num_queries)))
+        crashes: frozenset[int] = frozenset()
+        if num_batches > 0 and crash_batches > 0:
+            crashes = frozenset(rng.sample(range(num_batches),
+                                           min(crash_batches, num_batches)))
+        return cls(raise_on_query=raises, crash_on_batch=crashes)
+
+    def describe(self) -> str:
+        parts = []
+        if self.raise_on_query:
+            parts.append("raise=" + ",".join(
+                str(i) for i in sorted(self.raise_on_query)))
+        if self.delay_on_query:
+            parts.append("delay=" + ",".join(
+                f"{i}:{s:g}" for i, s in sorted(self.delay_on_query.items())))
+        if self.crash_on_batch:
+            parts.append("crash=" + ",".join(
+                str(i) for i in sorted(self.crash_on_batch)))
+            parts.append(f"crash-times={self.crash_times}")
+        return ";".join(parts) if parts else "<empty>"

@@ -1,4 +1,4 @@
-"""Parallel batched feasibility solving over a worker pool.
+"""Parallel batched feasibility solving over a fault-tolerant worker pool.
 
 The scheduler turns the driver's per-candidate solve loop into batched
 query execution: candidates are partitioned into index batches and
@@ -17,6 +17,21 @@ the seed sequential driver exactly; only solver-internal choice variables
 (``!k*``, filtered from witnesses) ever differed, see
 ``docs/parallelism.md``.
 
+Purity is also what makes the layer *fault-tolerant* (see
+``docs/robustness.md``): re-executing a lost batch is safe, so worker
+death is survivable by requeueing.  Failure handling has three tiers:
+
+* **per-query isolation** — an exception inside one query becomes an
+  UNKNOWN :class:`QueryOutcome` carrying the error text, instead of
+  unwinding the batch (soundy convention: unproven paths stay reported);
+* **per-batch retry** — a batch-level failure is re-executed up to
+  ``FaultPolicy.max_retries`` times with backoff, then its queries are
+  synthesized as UNKNOWN;
+* **backend degradation** — worker death (``BrokenProcessPool``)
+  requeues the lost batches on a rebuilt pool; after ``max_retries``
+  rebuilds the remaining work falls down the ladder process → thread →
+  inline, so the run always completes with at-worst-UNKNOWN verdicts.
+
 Worker model:
 
 * **thread** — workers share the parent's PDG, candidate list and one
@@ -30,9 +45,10 @@ Worker model:
   only candidate *indices* and compact :class:`QueryOutcome` records
   across the process boundary.
 
-Budgets are enforced at batch granularity by the completion loop; the
-spec shipped to workers carries no budget (a worker cannot see the whole
-run's clock).
+Budgets are enforced at two cadences: the completion loop checks the run
+budget per absorbed batch, and workers receive the run clock as an
+absolute :class:`~repro.limits.Deadline` so they stop *between queries*
+once it expires and return the partial batch.
 """
 
 from __future__ import annotations
@@ -40,27 +56,32 @@ from __future__ import annotations
 import multiprocessing
 import pickle
 import time
-from concurrent.futures import (FIRST_COMPLETED, Executor,
+from collections import deque
+from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
                                 ProcessPoolExecutor, ThreadPoolExecutor,
                                 wait)
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence
 
 from repro.checkers.base import BugCandidate, Checker
 from repro.exec.cache import SliceCache
+from repro.exec.faults import FaultPlan, FaultPolicy
 from repro.exec.telemetry import Telemetry
-from repro.limits import Budget
+from repro.limits import (Budget, Deadline, QueryDeadlineExceeded,
+                          ResourceExceeded)
 from repro.pdg.graph import ProgramDependenceGraph
 from repro.pdg.slicing import Slice
 from repro.smt.solver import SmtResult, SmtStatus
 from repro.sparse.driver import public_witness
 from repro.sparse.engine import SparseConfig, collect_candidates
 
-#: A per-query pure solver: ``(candidate, slice) -> (result, (total
-#: memory units, condition memory units))``.  Factories return one; the
-#: contract is that every call builds fresh solver state, so the outcome
-#: is independent of call order (the determinism guarantee).
-QueryFn = Callable[[BugCandidate, Slice], tuple[SmtResult, tuple[int, int]]]
+#: A per-query pure solver: ``(candidate, slice, deadline) -> (result,
+#: (total memory units, condition memory units))``.  Factories return
+#: one; the contract is that every call builds fresh solver state, so the
+#: outcome is independent of call order (the determinism guarantee), and
+#: that overrunning ``deadline`` yields an UNKNOWN result.
+QueryFn = Callable[[BugCandidate, Slice, Optional[Deadline]],
+                   tuple[SmtResult, tuple[int, int]]]
 
 #: ``(pdg, factory_config) -> QueryFn`` — must be a module-level function
 #: so the process backend can pickle it by reference.
@@ -79,6 +100,10 @@ class ExecConfig:
     backend: str = "auto"       # auto | serial | thread | process
     batch_size: int = 0         # 0 = derive from jobs and candidate count
     slice_cache_capacity: Optional[int] = 256
+    #: Failure handling: error policy, per-query timeout, retry budget.
+    faults: FaultPolicy = field(default_factory=FaultPolicy)
+    #: Deterministic fault injection (tests/CI only; None = no faults).
+    fault_plan: Optional[FaultPlan] = None
 
     def resolved_backend(self) -> str:
         if self.backend == "auto":
@@ -108,6 +133,10 @@ class WorkerSpec:
     sparse: Optional[SparseConfig]
     query_factory: QueryFactory
     factory_config: object
+    #: The engine's per-query wall-clock cap (its solver ``time_limit``);
+    #: bounds slicing as well as solving.  ``FaultPolicy.query_timeout``
+    #: overrides it when set.
+    query_timeout: Optional[float] = None
 
 
 @dataclass
@@ -123,6 +152,13 @@ class QueryOutcome:
     witness: dict[str, int]
     memory_units: int
     condition_memory_units: int
+    #: ``"ExcType: message"`` when the query failed and was degraded to
+    #: UNKNOWN (per-query isolation), or when its whole batch had to be
+    #: synthesized after retry exhaustion.  None for clean queries.
+    error: Optional[str] = None
+    #: True when the per-query deadline expired outside the SAT search
+    #: (slicing/transform/injected delay) and the query was cut short.
+    timed_out: bool = False
 
     @property
     def feasible(self) -> bool:
@@ -153,6 +189,20 @@ class ExecutionPlan:
                               budget)
 
 
+@dataclass
+class _Batch:
+    """One unit of dispatch: an ordinal (submission order, the key fault
+    plans name crash targets by), the candidate indices, and how many
+    times this batch has been attempted already."""
+
+    ordinal: int
+    indices: list[int]
+    attempt: int = 0
+
+    def bumped(self) -> "_Batch":
+        return replace(self, attempt=self.attempt + 1)
+
+
 class _WorkerState:
     """Per-worker solving state: candidates, slice cache, query function.
 
@@ -163,7 +213,10 @@ class _WorkerState:
 
     def __init__(self, spec: WorkerSpec,
                  cache_capacity: Optional[int],
-                 candidates: Optional[list[BugCandidate]] = None) -> None:
+                 candidates: Optional[list[BugCandidate]] = None,
+                 policy: Optional[FaultPolicy] = None,
+                 plan: Optional[FaultPlan] = None,
+                 process_worker: bool = False) -> None:
         self.pdg = spec.pdg
         if candidates is None:
             candidates = collect_candidates(spec.pdg, spec.checker,
@@ -171,21 +224,64 @@ class _WorkerState:
         self.candidates = candidates
         self.cache = SliceCache(cache_capacity)
         self.query = spec.query_factory(spec.pdg, spec.factory_config)
+        self.policy = policy if policy is not None else FaultPolicy()
+        self.plan = plan
+        self.process_worker = process_worker
+        self.query_timeout = self.policy.query_timeout \
+            if self.policy.query_timeout is not None else spec.query_timeout
 
-    def solve_batch(self, indices: Sequence[int]) -> list[QueryOutcome]:
+    def solve_batch(self, indices: Sequence[int],
+                    ordinal: Optional[int] = None, attempt: int = 0,
+                    run_deadline: Optional[Deadline] = None
+                    ) -> list[QueryOutcome]:
+        if self.plan is not None:
+            # May SIGKILL this process (process backend) or raise
+            # WorkerCrash for the whole batch (thread/inline backends).
+            self.plan.crash_worker(ordinal, attempt, self.process_worker)
         outcomes = []
         for index in indices:
-            candidate = self.candidates[index]
-            start = time.perf_counter()
-            the_slice = self.cache.get(self.pdg, [candidate.path])
-            smt_result, (memory, condition_memory) = \
-                self.query(candidate, the_slice)
-            outcomes.append(QueryOutcome(
-                index, smt_result.status, smt_result.decided_in_preprocess,
-                time.perf_counter() - start, smt_result.condition_nodes,
-                public_witness(smt_result.model), memory,
-                condition_memory))
+            if run_deadline is not None and run_deadline.expired:
+                # The run clock is gone: return the partial batch instead
+                # of solving past the limit; the parent's budget check
+                # turns this into the run's "time" failure with all
+                # results solved so far preserved.
+                break
+            outcomes.append(self._solve_one(index))
         return outcomes
+
+    def _solve_one(self, index: int) -> QueryOutcome:
+        candidate = self.candidates[index]
+        start = time.perf_counter()
+        deadline = Deadline.after(self.query_timeout)
+        try:
+            if self.plan is not None:
+                self.plan.apply_query(index, deadline)
+            the_slice = self.cache.get(self.pdg, [candidate.path],
+                                       deadline=deadline)
+            smt_result, (memory, condition_memory) = \
+                self.query(candidate, the_slice, deadline)
+        except QueryDeadlineExceeded as error:
+            return QueryOutcome(
+                index, SmtStatus.UNKNOWN, False,
+                time.perf_counter() - start, 0, {}, 0, 0,
+                error=_describe(error), timed_out=True)
+        except Exception as error:
+            if self.policy.on_error == "abort" \
+                    or isinstance(error, ResourceExceeded):
+                raise
+            return QueryOutcome(
+                index, SmtStatus.UNKNOWN, False,
+                time.perf_counter() - start, 0, {}, 0, 0,
+                error=_describe(error))
+        return QueryOutcome(
+            index, smt_result.status, smt_result.decided_in_preprocess,
+            time.perf_counter() - start, smt_result.condition_nodes,
+            public_witness(smt_result.model), memory,
+            condition_memory)
+
+
+def _describe(error: BaseException) -> str:
+    return f"{type(error).__name__}: {error}"
 
 
 # --------------------------------------------------------------------- #
@@ -195,13 +291,17 @@ class _WorkerState:
 _PROCESS_STATE: Optional[_WorkerState] = None
 
 
-def _process_init(spec_bytes: bytes,
-                  cache_capacity: Optional[int]) -> None:
+def _process_init(spec_bytes: bytes, cache_capacity: Optional[int],
+                  policy: FaultPolicy,
+                  plan: Optional[FaultPlan]) -> None:
     global _PROCESS_STATE
-    _PROCESS_STATE = _WorkerState(pickle.loads(spec_bytes), cache_capacity)
+    _PROCESS_STATE = _WorkerState(pickle.loads(spec_bytes), cache_capacity,
+                                  policy=policy, plan=plan,
+                                  process_worker=True)
 
 
-def _process_batch(indices: Sequence[int]
+def _process_batch(indices: Sequence[int], ordinal: int, attempt: int,
+                   run_deadline: Optional[Deadline]
                    ) -> tuple[list[QueryOutcome], tuple[int, int, int]]:
     """Solve one batch in a worker process; returns outcomes plus the
     cache-counter delta for this batch (workers are single-threaded, so
@@ -209,7 +309,7 @@ def _process_batch(indices: Sequence[int]
     state = _PROCESS_STATE
     assert state is not None, "worker pool initializer did not run"
     before = state.cache.counters()
-    outcomes = state.solve_batch(indices)
+    outcomes = state.solve_batch(indices, ordinal, attempt, run_deadline)
     after = state.cache.counters()
     return outcomes, tuple(a - b for a, b in zip(after, before))
 
@@ -220,7 +320,8 @@ def _process_batch(indices: Sequence[int]
 
 
 class QueryScheduler:
-    """Batches candidate indices and dispatches them over a worker pool."""
+    """Batches candidate indices and dispatches them over a worker pool,
+    surviving query errors, deadline overruns and worker death."""
 
     def __init__(self, spec: WorkerSpec, config: ExecConfig,
                  telemetry: Optional[Telemetry] = None,
@@ -253,18 +354,28 @@ class QueryScheduler:
             return outcomes
         jobs = min(self.config.effective_jobs, len(index_list))
         backend = self.config.resolved_backend()
-        batches = self._partition(index_list, jobs)
+        batches = [_Batch(ordinal, chunk) for ordinal, chunk
+                   in enumerate(self._partition(index_list, jobs))]
+        ladder = self._ladder(backend, jobs)
         if self.telemetry is not None:
             self.telemetry.annotate(jobs=jobs, backend=backend,
                                     batches=len(batches))
             self.telemetry.count("batches", len(batches))
+        run_deadline = None
+        if self.budget is not None and self.budget.max_seconds is not None:
+            run_deadline = self.budget.deadline()
 
-        if jobs == 1 and backend != "process":
-            self._run_inline(candidates, batches, outcomes)
-        elif backend == "thread":
-            self._run_thread(candidates, batches, outcomes, jobs)
-        else:
-            self._run_process(batches, outcomes, jobs)
+        remaining = batches
+        for step, level in enumerate(ladder):
+            if not remaining:
+                break
+            if step > 0:
+                self._record_fault("degradations")
+                if self.telemetry is not None:
+                    self.telemetry.annotate(degraded_to=level)
+            remaining = self._run_level(level, candidates, remaining,
+                                        outcomes, jobs, run_deadline)
+        assert not remaining, "inline execution left batches behind"
         outcomes.sort(key=lambda outcome: outcome.index)
         return outcomes
 
@@ -281,67 +392,158 @@ class QueryScheduler:
         return [index_list[low:low + size]
                 for low in range(0, count, size)]
 
-    # -- backends -------------------------------------------------------- #
+    def _ladder(self, backend: str, jobs: int) -> list[str]:
+        """The degradation ladder, starting at the configured backend."""
+        if jobs == 1 and backend != "process":
+            return ["inline"]
+        if backend == "thread":
+            return ["thread", "inline"]
+        return ["process", "thread", "inline"]
+
+    # -- ladder levels --------------------------------------------------- #
+
+    def _run_level(self, level: str, candidates: list[BugCandidate],
+                   work: list[_Batch], outcomes: list[QueryOutcome],
+                   jobs: int, run_deadline: Optional[Deadline]
+                   ) -> list[_Batch]:
+        """Run ``work`` at one ladder level; returns the batches this
+        level could not execute (they degrade to the next level)."""
+        if level == "inline":
+            self._run_inline(candidates, work, outcomes, run_deadline)
+            return []
+        if level == "thread":
+            return self._run_thread(candidates, work, outcomes, jobs,
+                                    run_deadline)
+        return self._run_process(work, outcomes, jobs, run_deadline)
 
     def _run_inline(self, candidates: list[BugCandidate],
-                    batches: list[list[int]],
-                    outcomes: list[QueryOutcome]) -> None:
-        """Degenerate single-worker case, no pool (still batched so the
-        budget cadence matches the parallel backends)."""
-        state = _WorkerState(self.spec,
-                             self.config.slice_cache_capacity,
-                             candidates=candidates)
+                    work: list[_Batch], outcomes: list[QueryOutcome],
+                    run_deadline: Optional[Deadline]) -> None:
+        """Single-worker case and the ladder's last rung: no pool, still
+        batched (budget cadence matches the parallel backends), always
+        completes — a batch that keeps failing is synthesized UNKNOWN."""
+        state = _WorkerState(self.spec, self.config.slice_cache_capacity,
+                             candidates=candidates,
+                             policy=self.config.faults,
+                             plan=self.config.fault_plan)
+        queue = deque(work)
         try:
-            for batch in batches:
-                self._absorb(state.solve_batch(batch), outcomes)
+            while queue:
+                batch = queue.popleft()
+                try:
+                    batch_outcomes = state.solve_batch(
+                        batch.indices, batch.ordinal, batch.attempt,
+                        run_deadline)
+                except Exception as error:
+                    retry = self._batch_failed(batch, error)
+                    if retry is not None:
+                        queue.append(retry)
+                    else:
+                        self._synthesize(batch, error, outcomes)
+                    continue
+                self._absorb(batch_outcomes, outcomes)
         finally:
             self._record_cache(state.cache)
 
     def _run_thread(self, candidates: list[BugCandidate],
-                    batches: list[list[int]],
-                    outcomes: list[QueryOutcome], jobs: int) -> None:
-        state = _WorkerState(self.spec,
-                             self.config.slice_cache_capacity,
-                             candidates=candidates)
+                    work: list[_Batch], outcomes: list[QueryOutcome],
+                    jobs: int, run_deadline: Optional[Deadline]
+                    ) -> list[_Batch]:
+        state = _WorkerState(self.spec, self.config.slice_cache_capacity,
+                             candidates=candidates,
+                             policy=self.config.faults,
+                             plan=self.config.fault_plan)
         executor = ThreadPoolExecutor(max_workers=jobs,
                                       thread_name_prefix="repro-query")
+
+        def submit(batch: _Batch):
+            return executor.submit(state.solve_batch, batch.indices,
+                                   batch.ordinal, batch.attempt,
+                                   run_deadline)
+
         try:
-            self._drain(executor,
-                        [executor.submit(state.solve_batch, batch)
-                         for batch in batches],
-                        outcomes)
+            return self._drain(executor, submit, work, outcomes,
+                               merge_cache_deltas=False)
         finally:
             executor.shutdown(wait=True, cancel_futures=True)
             self._record_cache(state.cache)
 
-    def _run_process(self, batches: list[list[int]],
-                     outcomes: list[QueryOutcome], jobs: int) -> None:
+    def _run_process(self, work: list[_Batch],
+                     outcomes: list[QueryOutcome], jobs: int,
+                     run_deadline: Optional[Deadline]) -> list[_Batch]:
         spec_bytes = pickle.dumps(self.spec)
         context = multiprocessing.get_context("fork") if _HAS_FORK else None
-        executor = ProcessPoolExecutor(
-            max_workers=jobs, mp_context=context,
-            initializer=_process_init,
-            initargs=(spec_bytes, self.config.slice_cache_capacity))
-        try:
-            self._drain(executor,
-                        [executor.submit(_process_batch, batch)
-                         for batch in batches],
-                        outcomes, merge_cache_deltas=True)
-        finally:
-            # wait=True: a pool abandoned mid-shutdown races interpreter
-            # exit (its management thread writes to closed pipes).
-            executor.shutdown(wait=True, cancel_futures=True)
+        policy = self.config.faults
+        todo = list(work)
+        rebuilds = 0
+        while todo:
+            executor = ProcessPoolExecutor(
+                max_workers=jobs, mp_context=context,
+                initializer=_process_init,
+                initargs=(spec_bytes, self.config.slice_cache_capacity,
+                          policy, self.config.fault_plan))
+
+            def submit(batch: _Batch):
+                return executor.submit(_process_batch, batch.indices,
+                                       batch.ordinal, batch.attempt,
+                                       run_deadline)
+
+            try:
+                lost = self._drain(executor, submit, todo, outcomes,
+                                   merge_cache_deltas=True)
+            finally:
+                # wait=True: a pool abandoned mid-shutdown races
+                # interpreter exit (its management thread writes to
+                # closed pipes).
+                executor.shutdown(wait=True, cancel_futures=True)
+            if not lost:
+                return []
+            # Worker death broke the pool.  Requeue the lost batches on a
+            # rebuilt pool (queries are pure, so re-execution is safe and
+            # deterministic) until the rebuild budget runs out, then hand
+            # the rest to the next ladder level.
+            rebuilds += 1
+            self._record_fault("pool_rebuilds")
+            self._record_fault("requeued_batches", len(lost))
+            if rebuilds > policy.max_retries:
+                return lost
+            time.sleep(policy.retry_backoff * rebuilds)
+            todo = [batch.bumped() for batch in lost]
+        return []
 
     # -- completion loop ------------------------------------------------- #
 
-    def _drain(self, executor: Executor, futures: list,
+    def _drain(self, executor, submit, work: list[_Batch],
                outcomes: list[QueryOutcome],
-               merge_cache_deltas: bool = False) -> None:
+               merge_cache_deltas: bool) -> list[_Batch]:
+        """Submit ``work`` and absorb completions until done.
+
+        Returns the batches lost to worker death (broken pool); batches
+        that merely *raised* are retried in place and synthesized as
+        UNKNOWN once their retry budget is exhausted.  All successful
+        results in a completion round are absorbed before any failure is
+        propagated, so a budget abort or an ``on_error=abort`` run still
+        reports everything solved so far.
+        """
+        futures = {submit(batch): batch for batch in work}
         pending = set(futures)
+        lost: list[_Batch] = []
+        broken = False
         while pending:
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            failures: list[tuple[_Batch, BaseException]] = []
+            budget_error: Optional[ResourceExceeded] = None
             for future in done:
-                result = future.result()
+                batch = futures.pop(future)
+                try:
+                    result = future.result()
+                except BrokenExecutor:
+                    broken = True
+                    lost.append(batch)
+                    continue
+                except Exception as error:
+                    failures.append((batch, error))
+                    continue
                 if merge_cache_deltas:
                     batch_outcomes, (hits, misses, evictions) = result
                     if self.telemetry is not None:
@@ -350,7 +552,55 @@ class QueryScheduler:
                             capacity=self.config.slice_cache_capacity)
                 else:
                     batch_outcomes = result
-                self._absorb(batch_outcomes, outcomes)
+                try:
+                    self._absorb(batch_outcomes, outcomes)
+                except ResourceExceeded as error:
+                    # Keep absorbing this round's successes before the
+                    # budget violation propagates.
+                    budget_error = error
+            for batch, error in failures:
+                retry = self._batch_failed(batch, error)
+                if retry is None:
+                    self._synthesize(batch, error, outcomes)
+                elif broken:
+                    lost.append(retry)
+                else:
+                    try:
+                        future = submit(retry)
+                    except BrokenExecutor:
+                        broken = True
+                        lost.append(retry)
+                    else:
+                        futures[future] = retry
+                        pending.add(future)
+            if budget_error is not None:
+                raise budget_error
+        return lost
+
+    def _batch_failed(self, batch: _Batch,
+                      error: BaseException) -> Optional[_Batch]:
+        """Decide a failed batch's fate: re-raise (abort policy), retry
+        (returns the bumped batch), or give up (returns None — the caller
+        synthesizes UNKNOWN outcomes)."""
+        if self.config.faults.on_error == "abort" \
+                or isinstance(error, ResourceExceeded):
+            raise error
+        if batch.attempt >= self.config.faults.max_retries:
+            return None
+        self._record_fault("batch_retries")
+        time.sleep(self.config.faults.retry_backoff * (batch.attempt + 1))
+        return batch.bumped()
+
+    def _synthesize(self, batch: _Batch, error: BaseException,
+                    outcomes: list[QueryOutcome]) -> None:
+        """Give every query of an unrecoverable batch an UNKNOWN outcome
+        (soundy: the reports survive, flagged with the error)."""
+        self._record_fault("synthesized_unknown", len(batch.indices))
+        self._absorb(
+            [QueryOutcome(index, SmtStatus.UNKNOWN, False, 0.0, 0, {},
+                          0, 0, error=_describe(error))
+             for index in batch.indices],
+            outcomes)
 
     def _absorb(self, batch: list[QueryOutcome],
                 outcomes: list[QueryOutcome]) -> None:
@@ -362,6 +612,10 @@ class QueryScheduler:
                     outcome.decided_in_preprocess, outcome.condition_nodes)
                 self.telemetry.record_memory(outcome.memory_units,
                                              outcome.condition_memory_units)
+                if outcome.timed_out:
+                    self.telemetry.record_fault("query_timeouts")
+                elif outcome.error is not None:
+                    self.telemetry.record_fault("query_errors")
         if self.budget is not None:
             for outcome in batch:
                 self.budget.check_memory(outcome.memory_units)
@@ -373,3 +627,7 @@ class QueryScheduler:
             self.telemetry.record_cache(
                 "slice", hits, misses, evictions,
                 capacity=self.config.slice_cache_capacity)
+
+    def _record_fault(self, name: str, amount: int = 1) -> None:
+        if self.telemetry is not None:
+            self.telemetry.record_fault(name, amount)

@@ -24,7 +24,10 @@ from repro.smt.solver import SmtStatus
 
 #: Schema identifier embedded in every export, bumped on layout changes.
 #: /2 added the "triage" section (abstract-interpretation pre-pass).
-SCHEMA = "repro-exec-telemetry/2"
+#: /3 added the "faults" section (fault-tolerance counters: per-query
+#: errors/timeouts, batch retries/requeues, pool rebuilds, backend
+#: degradations, synthesized-UNKNOWN outcomes).
+SCHEMA = "repro-exec-telemetry/3"
 
 
 class Telemetry:
@@ -48,6 +51,16 @@ class Telemetry:
             "decided_infeasible": 0, "decided_feasible": 0,
             "sent_to_smt": 0, "refinement_steps": 0,
             "fixpoint_seconds": 0.0,
+        }
+        self.faults: dict[str, int] = {
+            "query_errors": 0,        # isolated per-query exceptions
+            "query_timeouts": 0,      # per-query deadline overruns
+            "batch_retries": 0,       # batch re-executions after a raise
+            "requeued_batches": 0,    # batches resubmitted after pool death
+            "pool_rebuilds": 0,       # process pools rebuilt after death
+            "degradations": 0,        # ladder steps (process→thread→inline)
+            "synthesized_unknown": 0, # outcomes fabricated after retry
+                                      # exhaustion
         }
         self.wall_seconds = 0.0
 
@@ -120,6 +133,11 @@ class Telemetry:
             t["refinement_steps"] += refinement_steps
             t["fixpoint_seconds"] += fixpoint_seconds
 
+    def record_fault(self, kind: str, amount: int = 1) -> None:
+        """One fault-tolerance event (see the ``faults`` section keys)."""
+        with self._lock:
+            self.faults[kind] = self.faults.get(kind, 0) + amount
+
     def record_memory(self, units: int, condition_units: int = 0) -> None:
         """Fold one modeled-memory snapshot into the peaks."""
         with self._lock:
@@ -150,6 +168,7 @@ class Telemetry:
                            for name, entry in sorted(self.caches.items())},
                 "memory": dict(self.memory),
                 "triage": dict(self.triage),
+                "faults": dict(self.faults),
             }
 
     def to_json(self, indent: int = 2) -> str:

@@ -22,7 +22,7 @@ from repro.exec.telemetry import Telemetry
 from repro.fusion.graph_solver import GraphSolverConfig, IrBasedSmtSolver
 from repro.fusion.transform import ConditionTransformer
 from repro.lang.ir import Program
-from repro.limits import Budget
+from repro.limits import Budget, Deadline
 from repro.pdg.builder import build_pdg
 from repro.pdg.callgraph import unroll_recursion
 from repro.pdg.graph import ProgramDependenceGraph
@@ -54,10 +54,12 @@ def fusion_query_factory(pdg: ProgramDependenceGraph,
     the process backend can pickle it by reference.
     """
 
-    def query(candidate: BugCandidate, the_slice) \
+    def query(candidate: BugCandidate, the_slice,
+              deadline: Optional[Deadline] = None) \
             -> tuple[SmtResult, tuple[int, int]]:
         engine = FusionEngine(pdg, config)
-        result = engine.solver.solve([candidate.path], the_slice)
+        result = engine.solver.solve([candidate.path], the_slice,
+                                     deadline=deadline)
         return result, engine._memory_snapshot()
 
     return query
@@ -93,11 +95,18 @@ class FusionEngine:
         cache = self._slice_cache(exec_config)
 
         def solve(candidate: BugCandidate) -> SmtResult:
+            # One deadline covers the whole query — slicing included.
+            # QueryDeadlineExceeded escaping from the slice stage is
+            # converted to UNKNOWN by the driver's sequential loop.
+            deadline = Deadline.after(self.config.solver.solver.time_limit)
             if cache is not None:
-                the_slice = cache.get(self.pdg, [candidate.path])
+                the_slice = cache.get(self.pdg, [candidate.path],
+                                      deadline=deadline)
             else:
-                the_slice = compute_slice(self.pdg, [candidate.path])
-            return self.solver.solve([candidate.path], the_slice)
+                the_slice = compute_slice(self.pdg, [candidate.path],
+                                          deadline=deadline)
+            return self.solver.solve([candidate.path], the_slice,
+                                     deadline=deadline)
 
         execution = self._execution_plan(checker, exec_config, telemetry)
         result = run_analysis(self.pdg, checker, self.name, solve,
@@ -128,12 +137,18 @@ class FusionEngine:
             return None
         config = exec_config if exec_config is not None else ExecConfig()
         spec = None
-        if config.effective_jobs > 1:
+        # A fault plan needs the worker path even at jobs=1: injection
+        # hooks live in the scheduler's _WorkerState, and the inline
+        # ladder rung gives single-job runs the same retry/synthesize
+        # machinery.
+        if config.effective_jobs > 1 or config.fault_plan is not None:
             # Workers cannot observe the whole run's clock; the
             # completion loop enforces the budget at batch granularity.
             spec = WorkerSpec(self.pdg, checker, self.config.sparse,
                               fusion_query_factory,
-                              replace(self.config, budget=None))
+                              replace(self.config, budget=None),
+                              query_timeout=self.config.solver.solver
+                              .time_limit)
         return ExecutionPlan(config, spec, telemetry)
 
     def check_simultaneous(self, paths) -> "SmtResult":

@@ -25,10 +25,11 @@ from typing import Optional, Sequence
 from repro.fusion.instantiate import assemble_condition
 from repro.fusion.quickpath import QuickPathTable, Shape
 from repro.fusion.transform import CallBinding, ConditionTransformer
+from repro.limits import Deadline, QueryDeadlineExceeded
 from repro.pdg.graph import ProgramDependenceGraph
 from repro.pdg.slicing import Slice
 from repro.smt.preprocess import Preprocessor, Verdict, constraint_set_size
-from repro.smt.solver import SmtResult, SmtSolver, SolverConfig
+from repro.smt.solver import SmtResult, SmtSolver, SmtStatus, SolverConfig
 from repro.smt.terms import Term
 from repro.sparse.paths import DependencePath
 
@@ -67,25 +68,45 @@ class IrBasedSmtSolver:
         self.stats = GraphSolverStats()
         self.smt = SmtSolver(self.transformer.manager, self.config.solver)
         self._local_cache: dict[tuple, list[Term]] = {}
+        #: The in-flight query's deadline; set by :meth:`solve` so the
+        #: recursive cloning/template helpers can observe it without
+        #: threading a parameter through every closure.
+        self._deadline: Optional[Deadline] = None
 
     # ------------------------------------------------------------------ #
     # Entry point
     # ------------------------------------------------------------------ #
 
     def solve(self, paths: Sequence[DependencePath],
-              the_slice: Slice) -> SmtResult:
+              the_slice: Slice,
+              deadline: Optional[Deadline] = None) -> SmtResult:
+        """Decide Π's feasibility, bounded by the per-query deadline.
+
+        ``deadline`` defaults to a fresh one from the solver config's
+        ``time_limit``; overrunning it anywhere (condition assembly,
+        preprocessing, SAT search) yields UNKNOWN, never an exception.
+        """
         self.stats.queries += 1
-        constraints = self.condition_of(paths, the_slice)
+        if deadline is None:
+            deadline = Deadline.after(self.config.solver.time_limit)
+        try:
+            constraints = self.condition_of(paths, the_slice,
+                                            deadline=deadline)
+        except QueryDeadlineExceeded:
+            return SmtResult(SmtStatus.UNKNOWN)
         return self.smt.check(constraints,
-                              want_model=self.config.want_model)
+                              want_model=self.config.want_model,
+                              deadline=deadline)
 
     def condition_of(self, paths: Sequence[DependencePath],
-                     the_slice: Slice) -> list[Term]:
+                     the_slice: Slice,
+                     deadline: Optional[Deadline] = None) -> list[Term]:
         """The assembled path condition of Π, as a constraint set.
 
         This is the formula ``solve`` would hand to ``smt_solve`` — also
         useful for exporting conditions (SMT-LIB/DIMACS) or inspection.
         """
+        self._deadline = deadline
         needed = {fn: self.transformer.needed_key(the_slice, fn)
                   for fn in the_slice.needed}
 
@@ -117,6 +138,8 @@ class IrBasedSmtSolver:
         cached = self._local_cache.get(key)
         if cached is not None:
             return cached
+        if self._deadline is not None:
+            self._deadline.check("condition transformation")
         template = self.transformer.template(fn, needed)
         protected = self.transformer.interface_vars(fn, needed)
         pre = Preprocessor(self.transformer.manager,
@@ -212,6 +235,8 @@ class IrBasedSmtSolver:
         """Rules (7)/(8): clone the callee at this call site."""
         mgr = self.transformer.manager
         self.stats.clones += 1
+        if self._deadline is not None:
+            self._deadline.check("condition cloning")
         if optimized:
             child = self._optimized_instance(binding.callee, needed_of,
                                              frozenset())

@@ -1,11 +1,20 @@
-"""Resource budgets and limit exceptions shared across engines.
+"""Resource budgets, per-query deadlines, and limit exceptions.
 
 The paper runs every analysis "with the limit of 12 hours and 100GB of
 memory" and every SMT query "with a limit of 10 seconds" (Section 5).  The
-reproduction scales those limits down but keeps the same *mechanism*: an
-engine that exhausts its budget aborts with one of these exceptions, and
-the benchmark harness reports it the way the paper reports "Memory Out" /
-"timeout" entries.
+reproduction scales those limits down but keeps the same *mechanism*, at
+two granularities:
+
+* :class:`Budget` — the whole run's wall-clock/memory caps.  An engine
+  that exhausts its budget aborts with :class:`TimeBudgetExceeded` /
+  :class:`MemoryBudgetExceeded`, and the benchmark harness reports it the
+  way the paper reports "Memory Out" / "timeout" entries.
+* :class:`Deadline` — one query's wall-clock cap, threaded from
+  ``SolverConfig.time_limit`` through slicing, condition transformation,
+  preprocessing and the SAT search.  A tripped deadline raises
+  :class:`QueryDeadlineExceeded`, which every query loop converts to an
+  UNKNOWN verdict for *that query only* — per-query timeouts never abort
+  the run (see ``docs/robustness.md``).
 """
 
 from __future__ import annotations
@@ -25,6 +34,57 @@ class MemoryBudgetExceeded(ResourceExceeded):
 
 class TimeBudgetExceeded(ResourceExceeded):
     """Wall-clock budget exceeded."""
+
+
+class QueryDeadlineExceeded(ResourceExceeded):
+    """One query overran its per-query deadline (reported as UNKNOWN)."""
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute per-query wall-clock deadline.
+
+    ``expires_at`` is a ``time.monotonic()`` timestamp (``None`` = never
+    expires).  Frozen and picklable: the scheduler ships deadlines to
+    worker processes, and on POSIX the monotonic clock is system-wide, so
+    a timestamp taken in the parent is meaningful in a forked child.
+    """
+
+    expires_at: Optional[float] = None
+
+    @classmethod
+    def after(cls, seconds: Optional[float]) -> "Deadline":
+        """A deadline ``seconds`` from now; ``None`` never expires."""
+        if seconds is None:
+            return cls(None)
+        return cls(time.monotonic() + seconds)
+
+    @classmethod
+    def never(cls) -> "Deadline":
+        return cls(None)
+
+    @property
+    def expired(self) -> bool:
+        return self.expires_at is not None \
+            and time.monotonic() >= self.expires_at
+
+    def remaining(self) -> Optional[float]:
+        """Seconds left (clamped at 0); ``None`` when unlimited."""
+        if self.expires_at is None:
+            return None
+        return max(0.0, self.expires_at - time.monotonic())
+
+    def check(self, what: str = "query") -> None:
+        if self.expired:
+            raise QueryDeadlineExceeded(f"{what} exceeded its deadline")
+
+    def earlier(self, other: Optional["Deadline"]) -> "Deadline":
+        """The tighter of two deadlines."""
+        if other is None or other.expires_at is None:
+            return self
+        if self.expires_at is None:
+            return other
+        return self if self.expires_at <= other.expires_at else other
 
 
 @dataclass
@@ -50,6 +110,17 @@ class Budget:
     def elapsed(self) -> float:
         return time.perf_counter() - self._start
 
+    def remaining_seconds(self) -> Optional[float]:
+        """Wall-clock seconds left (clamped at 0); ``None`` = unlimited."""
+        if self.max_seconds is None:
+            return None
+        return max(0.0, self.max_seconds - self.elapsed)
+
+    def deadline(self) -> Deadline:
+        """The run clock as an absolute :class:`Deadline` (shippable to
+        workers, which cannot see the parent's ``Budget`` object)."""
+        return Deadline.after(self.remaining_seconds())
+
     def check_time(self) -> None:
         if self.max_seconds is not None and self.elapsed > self.max_seconds:
             raise TimeBudgetExceeded(
@@ -62,4 +133,11 @@ class Budget:
                 f"{self.max_memory_units}")
 
 
-UNLIMITED = Budget()
+def unlimited() -> Budget:
+    """A fresh no-limit budget with its own clock.
+
+    Replaces the old module-level ``UNLIMITED`` singleton, whose ``_start``
+    was stamped at import time and shared mutably across runs — making
+    ``elapsed``/``restart_clock`` on it meaningless for any caller.
+    """
+    return Budget()

@@ -22,11 +22,12 @@ Given Π, the slice is the sub-graph the paths' feasibility depends on:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Optional
 
 from typing import TYPE_CHECKING
 
 from repro.lang.ir import IfThenElse, Var
+from repro.limits import Deadline
 from repro.pdg.graph import ProgramDependenceGraph, Vertex
 
 if TYPE_CHECKING:  # avoid a package-level import cycle with repro.sparse
@@ -62,8 +63,15 @@ class Slice:
 
 
 def compute_slice(pdg: ProgramDependenceGraph,
-                  paths: Iterable[DependencePath]) -> Slice:
-    """Apply Rules (1)-(3) to Π."""
+                  paths: Iterable[DependencePath],
+                  deadline: Optional[Deadline] = None) -> Slice:
+    """Apply Rules (1)-(3) to Π.
+
+    ``deadline`` (when given) bounds the computation: a query's per-query
+    clock covers its slicing stage, so a pathological closure raises
+    :class:`~repro.limits.QueryDeadlineExceeded` instead of running
+    unbounded (the caller converts that to an UNKNOWN verdict).
+    """
     result = Slice()
     seeds: list[Vertex] = []
     seen_reqs: set[tuple[int, int, bool]] = set()
@@ -80,6 +88,8 @@ def compute_slice(pdg: ProgramDependenceGraph,
             seeds.append(src)
 
     for path in paths:
+        if deadline is not None:
+            deadline.check("slicing")
         for i, step in enumerate(path.steps):
             # Rule (1): requirements from on-path ite traversals.
             if i > 0 and isinstance(step.vertex.stmt, IfThenElse):
@@ -95,7 +105,7 @@ def compute_slice(pdg: ProgramDependenceGraph,
             for branch in pdg.control_chain(step.vertex):
                 add_requirement(step.frame, branch, True)
 
-    _data_closure(pdg, seeds, result)
+    _data_closure(pdg, seeds, result, deadline)
     return result
 
 
@@ -104,10 +114,15 @@ def _operand_defined_by(operand, vertex: Vertex) -> bool:
 
 
 def _data_closure(pdg: ProgramDependenceGraph, seeds: list[Vertex],
-                  result: Slice) -> None:
+                  result: Slice,
+                  deadline: Optional[Deadline] = None) -> None:
     """Rule (3): transitively add everything the seeds data-depend on."""
     worklist = list(seeds)
+    steps = 0
     while worklist:
+        steps += 1
+        if deadline is not None and steps & 0x3F == 0:
+            deadline.check("slicing")
         vertex = worklist.pop()
         bucket = result.needed.setdefault(vertex.function, set())
         if vertex in bucket:

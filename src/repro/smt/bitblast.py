@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Mapping, Optional
 
+from repro.limits import Deadline
 from repro.smt.sat import SatResult, SatSolver
 from repro.smt.terms import Op, Term
 
@@ -38,9 +39,10 @@ class BitBlaster:
         self.solver.add_clause([self.literal(term)])
 
     def solve(self, conflict_limit: Optional[int] = None,
-              time_limit: Optional[float] = None) -> SatResult:
+              time_limit: Optional[float] = None,
+              deadline: Optional[Deadline] = None) -> SatResult:
         return self.solver.solve(conflict_limit=conflict_limit,
-                                 time_limit=time_limit)
+                                 time_limit=time_limit, deadline=deadline)
 
     def literal(self, term: Term) -> int:
         """SAT literal equisatisfiable with a Boolean term."""

@@ -26,6 +26,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence
 
+from repro.limits import Deadline
 from repro.smt import semantics
 from repro.smt.rewriter import simplify
 from repro.smt.terms import Op, Term, TermManager
@@ -158,7 +159,8 @@ class Preprocessor:
     # Pipeline driver
     # ------------------------------------------------------------------ #
 
-    def run(self, constraints: Iterable[Term]) -> PreprocessResult:
+    def run(self, constraints: Iterable[Term],
+            deadline: Optional[Deadline] = None) -> PreprocessResult:
         mgr = self.manager
         stats = PreprocessStats()
         completions: list[CompletionStep] = []
@@ -166,6 +168,8 @@ class Preprocessor:
         stats.initial_size = constraint_set_size(work)
 
         for _ in range(self.max_rounds):
+            if deadline is not None:
+                deadline.check("preprocessing")
             stats.rounds += 1
             before = (len(work), constraint_set_size(work))
             work = self._normalize(work)

@@ -17,6 +17,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
+from repro.limits import Deadline
+
 
 class SatStatus(enum.Enum):
     """Outcome of a SAT search (UNKNOWN = resource budget exhausted)."""
@@ -381,17 +383,24 @@ class SatSolver:
     # ------------------------------------------------------------------ #
 
     def solve(self, conflict_limit: Optional[int] = None,
-              time_limit: Optional[float] = None) -> SatResult:
+              time_limit: Optional[float] = None,
+              deadline: Optional[Deadline] = None) -> SatResult:
         """Run CDCL search.
 
         ``conflict_limit``/``time_limit`` bound the search and yield
         ``UNKNOWN`` on exhaustion — the reproduction's analogue of the
-        paper's 10-second per-query solver budget.
+        paper's 10-second per-query solver budget.  ``deadline`` is an
+        absolute cap (the query's shared clock across slicing/preprocess/
+        search); the tighter of the two bounds applies.
         """
         if self._unsat:
             return SatResult(SatStatus.UNSAT)
 
-        deadline = time.monotonic() + time_limit if time_limit else None
+        stop_at = time.monotonic() + time_limit \
+            if time_limit is not None else None
+        if deadline is not None and deadline.expires_at is not None:
+            stop_at = deadline.expires_at if stop_at is None \
+                else min(stop_at, deadline.expires_at)
 
         # Install root-level units.
         for lit in self._pending_units:
@@ -424,13 +433,19 @@ class SatSolver:
                 restart_budget -= 1
                 if conflict_limit is not None and self.conflicts >= conflict_limit:
                     return self._result(SatStatus.UNKNOWN)
-                if deadline is not None and time.monotonic() > deadline:
+                if stop_at is not None and time.monotonic() > stop_at:
                     return self._result(SatStatus.UNKNOWN)
                 if restart_budget <= 0:
                     restart_count += 1
                     restart_budget = luby(restart_count + 1) * 64
                     self._backjump(0)
             else:
+                # Conflict-free searches must observe the clock too (a
+                # huge propagation-bound instance never takes the branch
+                # above); check every 64 decisions to keep this cheap.
+                if stop_at is not None and self.decisions & 0x3F == 0 \
+                        and time.monotonic() > stop_at:
+                    return self._result(SatStatus.UNKNOWN)
                 var = self._pick_branch_var()
                 if var == 0:
                     return self._result(SatStatus.SAT)

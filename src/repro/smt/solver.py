@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
+from repro.limits import Deadline, QueryDeadlineExceeded
 from repro.smt.bitblast import BitBlaster
 from repro.smt.preprocess import (Preprocessor, PreprocessStats, Verdict,
                                   constraint_set_size)
@@ -56,7 +57,10 @@ class SolverConfig:
     enabled_passes: Optional[Sequence[str]] = None  # None = all passes
     use_preprocess: bool = True
     conflict_limit: Optional[int] = 200_000
-    time_limit: Optional[float] = 10.0  # the paper's per-query budget
+    #: The paper's per-query budget.  This bounds the *whole* query —
+    #: slicing, condition transformation, preprocessing and the SAT
+    #: search share one :class:`~repro.limits.Deadline` derived from it.
+    time_limit: Optional[float] = 10.0
 
 
 class SmtSolver:
@@ -75,19 +79,40 @@ class SmtSolver:
         self.decided_in_preprocess = 0
 
     def check(self, constraints: Iterable[Term],
-              want_model: bool = False) -> SmtResult:
-        """Decide satisfiability of the conjunction of ``constraints``."""
+              want_model: bool = False,
+              deadline: Optional[Deadline] = None) -> SmtResult:
+        """Decide satisfiability of the conjunction of ``constraints``.
+
+        ``deadline`` is the query's shared wall clock (already covering
+        its slicing/transform stages); when absent, a fresh deadline is
+        derived from ``config.time_limit``.  A tripped deadline anywhere
+        in the pipeline yields an UNKNOWN result, never an exception.
+        """
         start = time.perf_counter()
         self.queries += 1
         constraints = list(constraints)
         condition_nodes = constraint_set_size(constraints)
+        if deadline is None:
+            deadline = Deadline.after(self.config.time_limit)
 
+        try:
+            return self._check_bounded(constraints, want_model, deadline,
+                                       start, condition_nodes)
+        except QueryDeadlineExceeded:
+            return SmtResult(SmtStatus.UNKNOWN, {}, False, None,
+                             time.perf_counter() - start,
+                             condition_nodes=condition_nodes)
+
+    def _check_bounded(self, constraints: list[Term], want_model: bool,
+                       deadline: Deadline, start: float,
+                       condition_nodes: int) -> SmtResult:
+        deadline.check()
         pre_stats: Optional[PreprocessStats] = None
         completions = None
         if self.config.use_preprocess:
             preprocessor = Preprocessor(self.manager,
                                         enabled=self.config.enabled_passes)
-            pre = preprocessor.run(constraints)
+            pre = preprocessor.run(constraints, deadline=deadline)
             pre_stats = pre.stats
             completions = pre
             if pre.verdict is Verdict.SAT:
@@ -107,9 +132,11 @@ class SmtSolver:
 
         blaster = BitBlaster()
         for constraint in residual:
+            deadline.check("bit-blasting")
             blaster.assert_true(constraint)
         sat_result = blaster.solve(conflict_limit=self.config.conflict_limit,
-                                   time_limit=self.config.time_limit)
+                                   time_limit=self.config.time_limit,
+                                   deadline=deadline)
 
         elapsed = time.perf_counter() - start
         if sat_result.status is SatStatus.UNKNOWN:

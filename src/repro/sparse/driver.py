@@ -28,7 +28,8 @@ from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.checkers.base import (AnalysisResult, BugCandidate, BugReport,
                                  Checker)
-from repro.limits import (Budget, MemoryBudgetExceeded, ResourceExceeded,
+from repro.limits import (Budget, MemoryBudgetExceeded,
+                          QueryDeadlineExceeded, ResourceExceeded,
                           TimeBudgetExceeded)
 from repro.pdg.graph import ProgramDependenceGraph
 from repro.smt.solver import SmtResult, SmtStatus
@@ -113,13 +114,15 @@ def run_analysis(pdg: ProgramDependenceGraph, checker: Checker,
                     triage.stats.fixpoint.seconds)
                 telemetry.count("triage_decided", result.triage_decided)
 
-        if execution is not None and execution.parallel_jobs > 1:
+        if execution is not None and execution.spec is not None:
             _run_scheduled(candidates, pending, execution, result, budget,
                            query_records, reports)
         else:
+            policy = execution.config.faults if execution is not None \
+                else None
             _run_sequential(candidates, pending, solve_candidate,
                             memory_snapshot, result, budget, query_records,
-                            telemetry, reports)
+                            telemetry, reports, policy)
     except MemoryBudgetExceeded:
         result.failure = "memory"
     except TimeBudgetExceeded:
@@ -172,14 +175,42 @@ def _run_sequential(candidates: list[BugCandidate],
                     solve_candidate: SolveFn, memory_snapshot: MemoryFn,
                     result: AnalysisResult, budget: Budget,
                     query_records: Optional[list[QueryRecord]],
-                    telemetry, reports: dict[int, BugReport]) -> None:
-    """The seed per-candidate loop (shared engine, in submission order)."""
+                    telemetry, reports: dict[int, BugReport],
+                    policy=None) -> None:
+    """The seed per-candidate loop (shared engine, in submission order).
+
+    ``policy`` (a :class:`~repro.exec.faults.FaultPolicy`, present when
+    the caller opted into the execution layer) enables per-query fault
+    isolation: with ``on_error="unknown"`` a query that raises is
+    reported UNKNOWN instead of unwinding the run.  Without a policy
+    only per-query deadline overruns are isolated (they are part of the
+    query contract, not a failure); run-budget violations always
+    propagate.
+    """
     indices = range(len(candidates)) if pending is None else pending
     for index in indices:
         candidate = candidates[index]
         t0 = time.perf_counter()
-        smt_result = solve_candidate(candidate)
+        error = None
+        timed_out = False
+        try:
+            smt_result = solve_candidate(candidate)
+        except QueryDeadlineExceeded as exc:
+            smt_result = SmtResult(SmtStatus.UNKNOWN)
+            error, timed_out = f"{type(exc).__name__}: {exc}", True
+        except ResourceExceeded:
+            raise
+        except Exception as exc:
+            if policy is None or policy.on_error == "abort":
+                raise
+            smt_result = SmtResult(SmtStatus.UNKNOWN)
+            error = f"{type(exc).__name__}: {exc}"
         seconds = time.perf_counter() - t0
+        if error is not None:
+            result.error_queries += 1
+            if telemetry is not None:
+                telemetry.record_fault(
+                    "query_timeouts" if timed_out else "query_errors")
         result.smt_queries += 1
         if smt_result.decided_in_preprocess:
             result.decided_in_preprocess += 1
@@ -232,6 +263,8 @@ def _run_scheduled(candidates: list[BugCandidate],
                 result.decided_in_preprocess += 1
             if outcome.status is SmtStatus.UNKNOWN:
                 result.unknown_queries += 1
+            if outcome.error is not None:
+                result.error_queries += 1
             if query_records is not None:
                 query_records.append(QueryRecord(
                     outcome.status, outcome.seconds,
