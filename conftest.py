@@ -1,0 +1,18 @@
+"""Root pytest configuration.
+
+``pyproject.toml`` sets ``timeout = 120`` for pytest-timeout's per-test
+wall-clock ceiling.  On environments without the plugin, pytest would
+emit ``PytestConfigWarning: Unknown config option: timeout`` on every
+invocation; registering the key as a no-op ini option keeps those runs
+warning-free while leaving the real plugin (which registers the same
+key itself) fully in charge whenever it is installed.
+"""
+
+import importlib.util
+
+
+def pytest_addoption(parser):
+    if importlib.util.find_spec("pytest_timeout") is None:
+        parser.addini("timeout",
+                      "per-test timeout ceiling (no-op fallback: "
+                      "pytest-timeout is not installed)")

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""CI gate for warm incremental re-analysis (see docs/caching.md).
+
+Compares a cold and a warm ``repro analyze --cache-dir`` run on the
+same subject:
+
+* the findings (verdicts, ordering, witnesses) must be identical;
+* the warm run must actually hit the store (``store_hits > 0``) and
+  replay verdicts;
+* the warm run must dispatch strictly fewer SMT queries than the cold
+  run (on an unchanged program: zero).
+
+Usage::
+
+    check_warm_cache.py COLD_OUT COLD_TELEMETRY WARM_OUT WARM_TELEMETRY
+
+where the ``*_OUT`` files are ``--json`` stdout captures and the
+``*_TELEMETRY`` files are ``--telemetry`` exports.  Exits nonzero with
+a diagnostic on the first violated property.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+
+def fail(message: str) -> "None":
+    print(f"check_warm_cache: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    cold_out, cold_tel, warm_out, warm_tel = (
+        json.load(open(path)) for path in argv)
+
+    if cold_out["findings"] != warm_out["findings"]:
+        fail("warm findings differ from cold findings")
+    if not cold_out["findings"]:
+        fail("subject produced no findings; the gate is vacuous")
+
+    store = warm_tel["store"]
+    if store["store_hits"] <= 0:
+        fail(f"warm run never hit the store: {store}")
+    if store["replayed_verdicts"] != store["store_hits"]:
+        fail(f"hits and replayed verdicts disagree: {store}")
+    if cold_tel["store"]["store_hits"] != 0:
+        fail(f"cold run claims store hits: {cold_tel['store']}")
+
+    cold_queries = cold_tel["solver"]["total"]
+    warm_queries = warm_tel["solver"]["total"]
+    if cold_queries <= 0:
+        fail("cold run dispatched no SMT queries; the gate is vacuous")
+    if warm_queries >= cold_queries:
+        fail(f"warm run dispatched {warm_queries} SMT queries, "
+             f"cold dispatched {cold_queries}")
+
+    print(f"check_warm_cache: OK — findings identical, "
+          f"{store['store_hits']} verdicts replayed, "
+          f"SMT queries {cold_queries} -> {warm_queries}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

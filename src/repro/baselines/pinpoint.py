@@ -128,12 +128,14 @@ class PinpointEngine:
     def analyze(self, checker: Checker,
                 exec_config: Optional[ExecConfig] = None,
                 telemetry: Optional[Telemetry] = None,
-                triage=None) -> AnalysisResult:
+                triage=None, store=None) -> AnalysisResult:
         """Run the checker; ``exec_config`` opts into the query-execution
         layer (slice memoization, ``jobs > 1`` worker pools, telemetry)
         and ``triage`` into the abstract-interpretation pre-pass (``True``,
-        a ``TriageConfig`` or a prebuilt ``CandidateTriage``).  With no
-        argument the seed sequential path runs untouched."""
+        a ``TriageConfig`` or a prebuilt ``CandidateTriage``).  ``store``
+        (an :class:`~repro.exec.store.ArtifactStore`) opts into warm
+        incremental re-analysis.  With no argument the seed sequential
+        path runs untouched."""
         cache = None
         if exec_config is not None and exec_config.effective_jobs <= 1:
             cache = SliceCache(exec_config.slice_cache_capacity)
@@ -166,16 +168,45 @@ class PinpointEngine:
                                   .time_limit)
             execution = ExecutionPlan(config, spec, telemetry)
 
+        triage = make_triage(self.pdg, checker, triage)
+        binding = store.bind(self.pdg,
+                             self._store_fingerprint(triage),
+                             checker.name, telemetry) \
+            if store is not None else None
         result = run_analysis(self.pdg, checker, self.name, solve,
                               self._memory_snapshot, self.config.budget,
                               self.config.sparse, self.query_records,
-                              execution=execution,
-                              triage=make_triage(self.pdg, checker, triage))
+                              execution=execution, triage=triage,
+                              store=binding)
         if cache is not None and telemetry is not None:
-            hits, misses, evictions = cache.counters()
-            telemetry.record_cache("slice", hits, misses, evictions,
-                                   capacity=cache.capacity)
+            stats = cache.stats()
+            telemetry.record_cache("slice", stats.hits, stats.misses,
+                                   stats.evictions,
+                                   capacity=stats.capacity)
         return result
+
+    def _store_fingerprint(self, triage) -> dict:
+        """Verdict-affecting knobs (see FusionEngine._store_fingerprint
+        for the exclusion rationale).  The summary tactic is keyed by
+        name: the tactics are pure formula transforms, so equal names
+        mean equal verdicts."""
+        config = self.config
+        sparse = config.sparse
+        return {
+            "engine": self.name,
+            "width": self.pdg.program.width,
+            "enabled_passes": None if config.solver.enabled_passes is None
+            else list(config.solver.enabled_passes),
+            "use_preprocess": config.solver.use_preprocess,
+            "summary_tactic": None if config.summary_tactic is None
+            else config.summary_tactic.__name__,
+            "abstraction_refinement": config.abstraction_refinement,
+            "sparse": [sparse.max_paths_per_pair, sparse.max_path_len,
+                       sparse.max_candidates, sparse.revisit_cap],
+            "triage": None if triage is None
+            else [triage.config.max_refinement_steps,
+                  triage.config.widen_after],
+        }
 
     def _solve_one(self, candidate: BugCandidate, the_slice: Slice,
                    deadline: Optional[Deadline] = None) -> SmtResult:

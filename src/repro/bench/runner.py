@@ -74,6 +74,7 @@ class RunOutcome:
             "queries": self.result.smt_queries,
             "unknown": self.result.unknown_queries,
             "errors": self.result.error_queries,
+            "replayed": self.result.replayed_verdicts,
             "failure": self.result.failure,
         }
 
@@ -117,7 +118,8 @@ def run_engine(subject_name: str, engine: str, checker_name: str,
                query_timeout: Optional[float] = None,
                max_retries: Optional[int] = None,
                on_error: str = "unknown",
-               fault_plan: Optional[FaultPlan] = None) -> RunOutcome:
+               fault_plan: Optional[FaultPlan] = None,
+               store=None) -> RunOutcome:
     """Run one (engine, checker) pair on one subject.
 
     ``jobs=1`` (the default) is the seed sequential path — benchmark
@@ -126,7 +128,11 @@ def run_engine(subject_name: str, engine: str, checker_name: str,
     ``triage=True`` enables the absint pre-pass on the path-sensitive
     engines.  ``query_timeout``/``max_retries``/``on_error`` tune the
     fault-tolerance layer, and ``fault_plan`` injects deterministic
-    faults (CI resilience matrix).
+    faults (CI resilience matrix).  ``store`` (an
+    :class:`~repro.exec.store.ArtifactStore`) opts the path-sensitive
+    engines into warm incremental re-analysis; a warm run replays
+    unchanged verdicts instead of re-solving them (the ``replayed``
+    row column).
     """
     subject = materialize(subject_name)
     pdg = pdg_for(subject_name)
@@ -141,6 +147,12 @@ def run_engine(subject_name: str, engine: str, checker_name: str,
             raise ValueError("triage requires a path-sensitive engine; "
                              "infer has no per-candidate SMT stage")
         kwargs["triage"] = True
+    if store is not None:
+        if engine == "infer":
+            raise ValueError("the artifact store requires a "
+                             "path-sensitive engine; infer has no "
+                             "per-candidate verdicts to cache")
+        kwargs["store"] = store
     policy_kwargs = {"on_error": on_error}
     if query_timeout is not None:
         policy_kwargs["query_timeout"] = query_timeout

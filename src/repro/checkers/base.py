@@ -81,6 +81,10 @@ class BugReport:
     #: True when the abstract-interpretation triage stage settled the
     #: verdict and no SMT query was ever built for this candidate.
     decided_in_triage: bool = False
+    #: True when the verdict was replayed from a persistent artifact
+    #: store (warm run) instead of being solved in this run; the
+    #: ``decided_*`` flags then describe the original cold-run decision.
+    replayed: bool = False
 
     @property
     def checker(self) -> str:
@@ -120,6 +124,9 @@ class AnalysisResult:
     #: Candidates the absint triage stage settled without an SMT query.
     triage_decided_infeasible: int = 0
     triage_decided_feasible: int = 0
+    #: Verdicts replayed from the persistent artifact store (warm run);
+    #: these bypass triage and the SMT stage entirely.
+    replayed_verdicts: int = 0
     wall_time: float = 0.0
     #: Deterministic memory model: live term-DAG nodes, cached summary
     #: nodes, and graph size (see repro.limits.Budget for rationale).
@@ -143,7 +150,10 @@ class AnalysisResult:
             if self.error_queries else ""
         triaged = f", {self.triage_decided} triaged" \
             if self.triage_decided else ""
+        replayed = f", {self.replayed_verdicts} replayed" \
+            if self.replayed_verdicts else ""
         return (f"{self.engine}/{self.checker}: {len(self.bugs)} bugs / "
                 f"{self.candidates} candidates, {self.smt_queries} queries"
-                f"{unknown}{errors}{triaged}, {self.wall_time:.2f}s, "
+                f"{unknown}{errors}{triaged}{replayed}, "
+                f"{self.wall_time:.2f}s, "
                 f"{self.memory_units} mem units [{status}]")

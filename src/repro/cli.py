@@ -143,6 +143,15 @@ def _add_exec_arguments(parser: argparse.ArgumentParser) -> None:
                         help="inject deterministic faults, e.g. "
                              "'raise=3,7;delay=0:0.5;crash=1' "
                              "(testing/CI only)")
+    parser.add_argument("--cache-dir", metavar="PATH", default=None,
+                        help="persistent artifact store for warm "
+                             "incremental re-analysis: verdicts whose "
+                             "recorded dependencies are unchanged are "
+                             "replayed instead of re-solved (see "
+                             "docs/caching.md)")
+    parser.add_argument("--no-store", action="store_true",
+                        help="ignore --cache-dir for this run (neither "
+                             "read nor write the store)")
 
 
 def _make_engine(name: str, pdg, want_model: bool,
@@ -273,6 +282,17 @@ def _exec_options(args: argparse.Namespace):
                       fault_plan=fault_plan), telemetry
 
 
+def _make_store(args: argparse.Namespace):
+    """ArtifactStore | None from the shared ``--cache-dir``/``--no-store``
+    flags.  The infer baseline has no per-candidate SMT verdicts to
+    cache, so the store silently stays off there."""
+    if args.cache_dir is None or args.no_store or args.engine == "infer":
+        return None
+    from repro.exec import ArtifactStore
+
+    return ArtifactStore(args.cache_dir, label=args.subject)
+
+
 def _write_telemetry(args: argparse.Namespace, telemetry) -> bool:
     if telemetry is None or not args.telemetry:
         return True
@@ -301,7 +321,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
                          query_timeout=args.query_timeout,
                          max_retries=args.max_retries,
                          on_error=args.on_error,
-                         fault_plan=fault_plan)
+                         fault_plan=fault_plan,
+                         store=_make_store(args))
     print(json.dumps(outcome.row(), indent=2))
     if not _write_telemetry(args, telemetry):
         return 2
@@ -337,6 +358,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                           query_timeout=args.query_timeout)
     checker = CHECKER_FACTORIES[args.checker]()
     kwargs = {"triage": True} if args.triage else {}
+    store = _make_store(args)
+    if store is not None:
+        kwargs["store"] = store
     result = engine.analyze(checker, exec_config=exec_config,
                             telemetry=telemetry, **kwargs)
 

@@ -2,19 +2,22 @@
 fault tolerance, and analysis telemetry (see ``docs/parallelism.md``
 and ``docs/robustness.md``)."""
 
-from repro.exec.cache import SliceCache, path_fingerprint
+from repro.exec.cache import CacheStats, SliceCache, path_fingerprint
 from repro.exec.faults import (FaultPlan, FaultPolicy, InjectedFault,
                                InjectedQueryError, WorkerCrash)
 from repro.exec.scheduler import (BACKENDS, ExecConfig, ExecutionPlan,
                                   QueryOutcome, QueryScheduler, WorkerSpec)
+from repro.exec.store import (STORE_SCHEMA, ArtifactStore, StoreBinding,
+                              StoreRunStats)
 from repro.exec.telemetry import SCHEMA as TELEMETRY_SCHEMA
 from repro.exec.telemetry import Telemetry
 
 __all__ = [
-    "SliceCache", "path_fingerprint",
+    "CacheStats", "SliceCache", "path_fingerprint",
     "FaultPlan", "FaultPolicy", "InjectedFault", "InjectedQueryError",
     "WorkerCrash",
     "BACKENDS", "ExecConfig", "ExecutionPlan", "QueryOutcome",
     "QueryScheduler", "WorkerSpec",
+    "ArtifactStore", "StoreBinding", "StoreRunStats", "STORE_SCHEMA",
     "Telemetry", "TELEMETRY_SCHEMA",
 ]

@@ -61,6 +61,24 @@ def path_fingerprint(paths: Sequence[DependencePath]
     return (steps, tuple(signatures)), frames, canon_by_fid
 
 
+@dataclass(frozen=True)
+class CacheStats:
+    """One atomic snapshot of a :class:`SliceCache`'s counters.
+
+    Taken under the cache's lock, so the counters are mutually
+    consistent: ``hits + misses == lookups`` holds in every snapshot,
+    no matter how many threads are hammering the cache (the regression
+    test in ``tests/test_cache_stats.py`` pins this down).
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    lookups: int
+    size: int
+    capacity: Optional[int]
+
+
 @dataclass
 class _CachedSlice:
     """A slice in canonical (frame-independent) form."""
@@ -87,6 +105,7 @@ class SliceCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.lookups = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -94,6 +113,13 @@ class SliceCache:
     def counters(self) -> tuple[int, int, int]:
         with self._lock:
             return self.hits, self.misses, self.evictions
+
+    def stats(self) -> CacheStats:
+        """All counters in one locked read (see :class:`CacheStats`)."""
+        with self._lock:
+            return CacheStats(self.hits, self.misses, self.evictions,
+                              self.lookups, len(self._entries),
+                              self.capacity)
 
     def get(self, pdg: ProgramDependenceGraph,
             paths: Iterable[DependencePath],
@@ -106,11 +132,13 @@ class SliceCache:
         paths = list(paths)
         if self.capacity == 0:
             with self._lock:
+                self.lookups += 1
                 self.misses += 1
             return compute_slice(pdg, paths, deadline)
 
         key, frames, canon_by_fid = path_fingerprint(paths)
         with self._lock:
+            self.lookups += 1
             entry = self._entries.get(key)
             if entry is not None:
                 self._entries.move_to_end(key)

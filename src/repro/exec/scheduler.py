@@ -623,9 +623,9 @@ class QueryScheduler:
 
     def _record_cache(self, cache: SliceCache) -> None:
         if self.telemetry is not None:
-            hits, misses, evictions = cache.counters()
+            stats = cache.stats()
             self.telemetry.record_cache(
-                "slice", hits, misses, evictions,
+                "slice", stats.hits, stats.misses, stats.evictions,
                 capacity=self.config.slice_cache_capacity)
 
     def _record_fault(self, name: str, amount: int = 1) -> None:

@@ -1,0 +1,451 @@
+"""Persistent, content-addressed artifact store for warm re-analysis.
+
+Fusion's headline economics (Alg. 6) are *compute once, reuse across
+queries*; this module extends the reuse across **runs**.  A cold
+``repro analyze --cache-dir PATH`` run records, per decided candidate,
+the verdict together with the exact inputs the deciding query read.  A
+warm run replays every verdict whose recorded inputs are unchanged and
+re-solves only the rest, making re-analysis cost proportional to the
+diff, not the program.
+
+Key derivation
+--------------
+
+Everything is addressed by content, never by position:
+
+* **Function content key** — :func:`repro.lang.fingerprint.function_key`
+  over the lowered statements of one function.  Stable across formatting
+  and across edits to *other* functions.
+* **Interface key** — what a query reads from a callee it never slices:
+  the quick-path summary (:mod:`repro.fusion.quickpath`), the parameter
+  list, the return variable, and whether the function is defined at all.
+  A body edit that leaves these untouched does not invalidate callers.
+* **Candidate fingerprint** — the dependence path in *stable
+  coordinates*: per step ``(function, statement ordinal within the
+  function)`` plus the canonicalised frame structure (first-appearance
+  frame numbering, call sites named by their call vertex's stable
+  coordinates).  Global vertex indices and frame ids never leak into the
+  store.
+* **Config fingerprint** — engine name and the solver/sparse/triage
+  knobs that can change a verdict, plus the bit width and the store and
+  fingerprint schema versions.
+
+A verdict entry is stored at ``objects/<k[:2]>/<k>.json`` where ``k =
+sha256(config || checker || candidate fingerprint)``, and carries its
+dependency sets: content keys for the functions the slice actually
+touched, interface keys for every other function transitively callable
+from them.  An entry replays iff every recorded dependency matches the
+current program.
+
+Invalidation and the dirty set
+------------------------------
+
+On a warm run the binding diffs the persisted per-function records
+against the current program and derives the **dirty set**: functions
+whose content key changed (edited, added, deleted), functions whose
+interface key changed (their summary shifted, possibly without a body
+edit), and the direct callers of interface-changed functions (they read
+the stale summary).  The dirty set is reported through telemetry
+(``store.dirty_functions``); replay decisions themselves always re-check
+the per-entry dependency records, so correctness never rests on the
+call-graph propagation.
+
+Corruption policy: any unreadable, unparsable, or version-mismatched
+file — entries, function records, metadata — is treated as a cache
+miss, never an error.  The store is a pure accelerator; deleting it (or
+any subset of it) is always safe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.checkers.base import BugCandidate, BugReport
+from repro.fusion.quickpath import QuickPathTable
+from repro.lang.fingerprint import FINGERPRINT_VERSION, program_keys
+from repro.lang.ir import Call
+from repro.pdg.graph import ProgramDependenceGraph
+from repro.pdg.slicing import compute_slice
+from repro.smt.solver import SmtStatus
+
+if TYPE_CHECKING:
+    from repro.exec.telemetry import Telemetry
+
+#: Store layout version; embedded in every entry and in the config
+#: fingerprint, so a layout change orphans (never misreads) old entries.
+STORE_SCHEMA = "repro-exec-store/1"
+
+
+def _sha(payload: str) -> str:
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _canonical(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class StoreRunStats:
+    """One run's store activity (mirrored into telemetry's ``store``
+    section and exposed for tests via ``ArtifactStore.last_run``)."""
+
+    cold: bool = True                 # no prior function records existed
+    hits: int = 0                     # entries replayed
+    misses: int = 0                   # candidates with no entry
+    invalidations: int = 0            # entries present but stale deps
+    replayed_verdicts: int = 0        # == hits (kept for schema clarity)
+    committed: int = 0                # entries written this run
+    changed_functions: set[str] = field(default_factory=set)
+    dirty_functions: set[str] = field(default_factory=set)
+
+
+class ArtifactStore:
+    """A cache directory holding verdict entries and function records.
+
+    One instance may serve many runs (and many subjects — entries are
+    content-addressed, so runs can never observe each other's artifacts
+    except by agreeing on every key component).  ``label`` scopes the
+    per-function record file used for dirty-set reporting; runs on
+    different programs should use different labels (the CLI passes the
+    subject name).
+    """
+
+    def __init__(self, root: str, label: str = "default") -> None:
+        self.root = root
+        self.label = label
+        #: Stats of the most recent bound run (diagnostics/tests).
+        self.last_run: Optional[StoreRunStats] = None
+
+    # -- filesystem primitives (corruption == miss) --------------------- #
+
+    def _object_path(self, key: str) -> str:
+        return os.path.join(self.root, "objects", key[:2], f"{key}.json")
+
+    def _state_path(self, config_key: str) -> str:
+        name = _sha(f"{self.label}\n{config_key}")[:32]
+        return os.path.join(self.root, "state", f"{name}.json")
+
+    def _read_json(self, path: str) -> Optional[dict]:
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def _write_json(self, path: str, payload: dict) -> None:
+        """Atomic best-effort write; failures degrade to a future miss."""
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            tmp = f"{path}.tmp.{os.getpid()}"
+            with open(tmp, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:
+            pass
+
+    def read_entry(self, key: str) -> Optional[dict]:
+        entry = self._read_json(self._object_path(key))
+        if entry is None or entry.get("schema") != STORE_SCHEMA:
+            return None
+        return entry
+
+    def write_entry(self, key: str, entry: dict) -> None:
+        self._write_json(self._object_path(key), dict(entry,
+                                                      schema=STORE_SCHEMA))
+
+    def read_function_records(self, config_key: str
+                              ) -> Optional[dict[str, dict]]:
+        state = self._read_json(self._state_path(config_key))
+        if state is None or state.get("schema") != STORE_SCHEMA:
+            return None
+        records = state.get("functions")
+        return records if isinstance(records, dict) else None
+
+    def write_function_records(self, config_key: str,
+                               records: dict[str, dict]) -> None:
+        self._write_json(self._state_path(config_key),
+                         {"schema": STORE_SCHEMA, "label": self.label,
+                          "functions": records})
+        self._write_json(os.path.join(self.root, "meta.json"),
+                         {"schema": STORE_SCHEMA,
+                          "fingerprint_version": FINGERPRINT_VERSION})
+
+    # -- run binding ----------------------------------------------------- #
+
+    def bind(self, pdg: ProgramDependenceGraph, fingerprint: dict,
+             checker: str, telemetry: Optional["Telemetry"] = None
+             ) -> "StoreBinding":
+        """Prepare one run: compute current keys, diff against the
+        persisted records, and hand back the replay/commit hooks the
+        driver calls."""
+        binding = StoreBinding(self, pdg, fingerprint, checker, telemetry)
+        self.last_run = binding.stats
+        return binding
+
+
+class StoreBinding:
+    """One analysis run's view of the store (see module docstring)."""
+
+    def __init__(self, store: ArtifactStore, pdg: ProgramDependenceGraph,
+                 fingerprint: dict, checker: str,
+                 telemetry: Optional["Telemetry"]) -> None:
+        self.store = store
+        self.pdg = pdg
+        self.checker = checker
+        self.telemetry = telemetry
+        self.stats = StoreRunStats()
+        self.config_key = _sha(_canonical(dict(
+            fingerprint, store_schema=STORE_SCHEMA,
+            fingerprint_version=FINGERPRINT_VERSION)))
+
+        program = pdg.program
+        self._content = program_keys(program)
+        self._quickpaths = QuickPathTable(pdg)
+        self._interface: dict[str, str] = {}
+        self._callees: dict[str, tuple[str, ...]] = {}
+        for name, fn in program.functions.items():
+            self._interface[name] = self._interface_key(name)
+            self._callees[name] = tuple(sorted(
+                {s.callee for s in fn.statements()
+                 if isinstance(s, Call)}))
+        # Stable coordinates for vertices and call sites.
+        self._ordinal: dict[int, tuple[str, int]] = {}
+        for name in program.functions:
+            for position, vertex in enumerate(pdg.function_vertices(name)):
+                self._ordinal[vertex.index] = (name, position)
+        self._site: dict[int, tuple[str, int]] = {
+            site_id: self._ordinal[site.call_vertex.index]
+            for site_id, site in pdg.callsites.items()}
+
+        self._compute_dirty()
+        self._replayed: set[int] = set()
+        self._uncacheable: set[int] = set()
+
+    # -- key derivation -------------------------------------------------- #
+
+    def _interface_key(self, name: str) -> str:
+        """What a query can read from ``name`` without slicing it."""
+        fn = self.pdg.program.functions.get(name)
+        if fn is None:
+            return _sha(_canonical({"exists": False}))
+        summary = self._quickpaths.summary(name)
+        ret = self.pdg.return_vertex(name)
+        record = {
+            "exists": True,
+            "params": [[p.name, p.type.value] for p in fn.params],
+            "return": None if ret is None
+            else [ret.var.name, ret.var.type.value],
+            # Havoc provenance ids are run-local; only the shape matters
+            # for the constraints a summary produces.
+            "summary": [summary.shape.value, summary.scale,
+                        summary.param_index, summary.offset],
+        }
+        return _sha(_canonical(record))
+
+    def candidate_key(self, candidate: BugCandidate) -> Optional[str]:
+        """Entry key of one candidate, or None when the path touches a
+        vertex outside any defined function (never the case for paths
+        collected over this PDG, but corrupted inputs must miss)."""
+        frames: dict[int, int] = {}
+        signatures: list[list] = []
+
+        def visit(frame) -> int:
+            known = frames.get(frame.fid)
+            if known is not None:
+                return known
+            parent = visit(frame.parent) if frame.parent is not None else -1
+            site = None
+            if frame.callsite is not None:
+                site = self._site.get(frame.callsite)
+                if site is None:
+                    return -2
+            canonical = len(signatures)
+            frames[frame.fid] = canonical
+            signatures.append([frame.function, site, frame.via_return,
+                               parent])
+            return canonical
+
+        steps = []
+        for step in candidate.path.steps:
+            coordinate = self._ordinal.get(step.vertex.index)
+            canonical = visit(step.frame)
+            if coordinate is None or canonical < 0:
+                return None
+            steps.append([coordinate, canonical])
+        payload = _canonical({"checker": candidate.checker,
+                              "steps": steps, "frames": signatures})
+        return _sha(f"{self.config_key}\n{self.checker}\n{payload}")
+
+    def dependencies(self, candidate: BugCandidate) -> Optional[dict]:
+        """The functions a query for ``candidate`` reads, split into
+        content deps (sliced: exact body match required) and interface
+        deps (summary-only: quick-path/interface match suffices)."""
+        try:
+            the_slice = compute_slice(self.pdg, [candidate.path])
+        except Exception:
+            return None
+        strong = {step.vertex.function for step in candidate.path.steps}
+        strong.update(the_slice.needed)
+        strong = {fn for fn in strong if fn in self._content}
+        weak: set[str] = set()
+        worklist = list(strong)
+        while worklist:
+            for callee in self._callees.get(worklist.pop(), ()):
+                if callee in strong or callee in weak:
+                    continue
+                weak.add(callee)
+                worklist.append(callee)
+        return {
+            "content": {fn: self._content[fn] for fn in sorted(strong)},
+            "interface": {fn: self._interface.get(fn,
+                                                  self._interface_key(fn))
+                          for fn in sorted(weak)},
+        }
+
+    # -- dirty set -------------------------------------------------------- #
+
+    def _compute_dirty(self) -> None:
+        previous = self.store.read_function_records(self.config_key)
+        if previous is None:
+            return  # cold: nothing recorded, nothing to invalidate
+        self.stats.cold = False
+        names = set(previous) | set(self._content)
+        changed: set[str] = set()
+        interface_changed: set[str] = set()
+        for name in names:
+            old = previous.get(name, {})
+            if old.get("content") != self._content.get(name):
+                changed.add(name)
+            old_iface = old.get("interface")
+            new_iface = self._interface.get(name)
+            if name not in previous or name not in self._content \
+                    or old_iface != new_iface:
+                interface_changed.add(name)
+        dirty = set(changed)
+        for name, callees in self._callees.items():
+            if any(callee in interface_changed for callee in callees):
+                dirty.add(name)
+        # Deleted functions' callers read a new "extern" interface.
+        deleted = set(previous) - set(self._content)
+        for name, callees in self._callees.items():
+            if any(callee in deleted for callee in callees):
+                dirty.add(name)
+        self.stats.changed_functions = changed
+        self.stats.dirty_functions = dirty
+
+    # -- driver hooks ----------------------------------------------------- #
+
+    def replay(self, candidates: list[BugCandidate],
+               reports: dict[int, BugReport]) -> list[int]:
+        """Fill ``reports`` with replayable verdicts; return the indices
+        that still need solving (full-list indices, scheduler-ready)."""
+        pending: list[int] = []
+        for index, candidate in enumerate(candidates):
+            key = self.candidate_key(candidate)
+            entry = self.store.read_entry(key) if key is not None else None
+            if entry is None:
+                self.stats.misses += 1
+                pending.append(index)
+                continue
+            if not self._entry_valid(entry):
+                self.stats.invalidations += 1
+                pending.append(index)
+                continue
+            report = self._rebuild(candidate, entry)
+            if report is None:
+                self.stats.invalidations += 1
+                pending.append(index)
+                continue
+            self.stats.hits += 1
+            self.stats.replayed_verdicts += 1
+            self._replayed.add(index)
+            reports[index] = report
+        return pending
+
+    def _entry_valid(self, entry: dict) -> bool:
+        deps = entry.get("deps")
+        if not isinstance(deps, dict):
+            return False
+        content = deps.get("content")
+        interface = deps.get("interface")
+        if not isinstance(content, dict) or not isinstance(interface, dict):
+            return False
+        for fn, key in content.items():
+            if self._content.get(fn) != key:
+                return False
+        for fn, key in interface.items():
+            if self._interface.get(fn, self._interface_key(fn)) != key:
+                return False
+        return True
+
+    @staticmethod
+    def _rebuild(candidate: BugCandidate,
+                 entry: dict) -> Optional[BugReport]:
+        payload = entry.get("report")
+        if not isinstance(payload, dict) \
+                or not isinstance(payload.get("feasible"), bool):
+            return None
+        witness = payload.get("witness")
+        if not isinstance(witness, dict):
+            return None
+        try:
+            witness = {str(name): int(value)
+                       for name, value in witness.items()}
+        except (TypeError, ValueError):
+            return None
+        return BugReport(
+            candidate, payload["feasible"],
+            decided_in_preprocess=bool(payload.get("decided_in_preprocess",
+                                                   False)),
+            solve_time=0.0, witness=witness,
+            decided_in_triage=bool(payload.get("decided_in_triage", False)),
+            replayed=True)
+
+    def observe(self, index: int, status: SmtStatus) -> None:
+        """Record one solved query's status.  UNKNOWN verdicts (solver
+        give-ups, timeouts, isolated errors) are circumstantial — they
+        depend on machine load and fault injection — so they are never
+        persisted; the next run simply re-solves them."""
+        if status is SmtStatus.UNKNOWN:
+            self._uncacheable.add(index)
+
+    def commit(self, candidates: list[BugCandidate],
+               reports: dict[int, BugReport]) -> None:
+        """Persist every verdict solved this run plus the per-function
+        records the next run's dirty-set diff needs."""
+        for index, report in reports.items():
+            if index in self._replayed or index in self._uncacheable:
+                continue
+            candidate = candidates[index]
+            key = self.candidate_key(candidate)
+            if key is None:
+                continue
+            deps = self.dependencies(candidate)
+            if deps is None:
+                continue
+            self.store.write_entry(key, {
+                "deps": deps,
+                "report": {
+                    "feasible": report.feasible,
+                    "decided_in_preprocess": report.decided_in_preprocess,
+                    "decided_in_triage": report.decided_in_triage,
+                    "witness": dict(report.witness),
+                },
+            })
+            self.stats.committed += 1
+        self.store.write_function_records(self.config_key, {
+            name: {"content": self._content[name],
+                   "interface": self._interface[name]}
+            for name in sorted(self._content)})
+        if self.telemetry is not None:
+            self.telemetry.record_store(
+                store_hits=self.stats.hits,
+                store_misses=self.stats.misses,
+                store_invalidations=self.stats.invalidations,
+                dirty_functions=len(self.stats.dirty_functions),
+                replayed_verdicts=self.stats.replayed_verdicts)

@@ -27,7 +27,9 @@ from repro.smt.solver import SmtStatus
 #: /3 added the "faults" section (fault-tolerance counters: per-query
 #: errors/timeouts, batch retries/requeues, pool rebuilds, backend
 #: degradations, synthesized-UNKNOWN outcomes).
-SCHEMA = "repro-exec-telemetry/3"
+#: /4 added the "store" section (persistent artifact store: verdict
+#: hits/misses/invalidations, dirty-set size, replayed verdicts).
+SCHEMA = "repro-exec-telemetry/4"
 
 
 class Telemetry:
@@ -51,6 +53,13 @@ class Telemetry:
             "decided_infeasible": 0, "decided_feasible": 0,
             "sent_to_smt": 0, "refinement_steps": 0,
             "fixpoint_seconds": 0.0,
+        }
+        self.store: dict[str, int] = {
+            "store_hits": 0,           # verdicts found valid in the store
+            "store_misses": 0,         # candidates never seen before
+            "store_invalidations": 0,  # entries present but stale
+            "dirty_functions": 0,      # size of this run's dirty set
+            "replayed_verdicts": 0,    # reports served without any solve
         }
         self.faults: dict[str, int] = {
             "query_errors": 0,        # isolated per-query exceptions
@@ -133,6 +142,12 @@ class Telemetry:
             t["refinement_steps"] += refinement_steps
             t["fixpoint_seconds"] += fixpoint_seconds
 
+    def record_store(self, **counts: int) -> None:
+        """One artifact-store run's counters (see the ``store`` keys)."""
+        with self._lock:
+            for key, amount in counts.items():
+                self.store[key] = self.store.get(key, 0) + amount
+
     def record_fault(self, kind: str, amount: int = 1) -> None:
         """One fault-tolerance event (see the ``faults`` section keys)."""
         with self._lock:
@@ -168,6 +183,7 @@ class Telemetry:
                            for name, entry in sorted(self.caches.items())},
                 "memory": dict(self.memory),
                 "triage": dict(self.triage),
+                "store": dict(self.store),
                 "faults": dict(self.faults),
             }
 

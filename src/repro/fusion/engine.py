@@ -85,13 +85,16 @@ class FusionEngine:
     def analyze(self, checker: Checker,
                 exec_config: Optional[ExecConfig] = None,
                 telemetry: Optional[Telemetry] = None,
-                triage=None) -> AnalysisResult:
+                triage=None, store=None) -> AnalysisResult:
         """Run the checker; ``exec_config`` opts into the query-execution
         layer (slice memoization, ``jobs > 1`` worker pools, telemetry).
         ``triage`` opts into the abstract-interpretation pre-pass: pass
         ``True`` (default config), a ``TriageConfig``, or a prebuilt
         ``CandidateTriage``.  With no argument the seed sequential path
-        runs untouched."""
+        runs untouched.  ``store`` (an
+        :class:`~repro.exec.store.ArtifactStore`) opts into warm
+        incremental re-analysis: cached verdicts whose dependencies are
+        unchanged are replayed instead of re-solved."""
         cache = self._slice_cache(exec_config)
 
         def solve(candidate: BugCandidate) -> SmtResult:
@@ -109,16 +112,49 @@ class FusionEngine:
                                      deadline=deadline)
 
         execution = self._execution_plan(checker, exec_config, telemetry)
+        triage = make_triage(self.pdg, checker, triage)
+        binding = store.bind(self.pdg,
+                             self._store_fingerprint(triage),
+                             checker.name, telemetry) \
+            if store is not None else None
         result = run_analysis(self.pdg, checker, self.name, solve,
                               self._memory_snapshot, self.config.budget,
                               self.config.sparse, self.query_records,
-                              execution=execution,
-                              triage=make_triage(self.pdg, checker, triage))
+                              execution=execution, triage=triage,
+                              store=binding)
         if cache is not None and telemetry is not None:
-            hits, misses, evictions = cache.counters()
-            telemetry.record_cache("slice", hits, misses, evictions,
-                                   capacity=cache.capacity)
+            stats = cache.stats()
+            telemetry.record_cache("slice", stats.hits, stats.misses,
+                                   stats.evictions,
+                                   capacity=stats.capacity)
         return result
+
+    def _store_fingerprint(self, triage) -> dict:
+        """Every knob that can change a cacheable verdict (or the report
+        built from it).  Time/conflict limits are deliberately excluded:
+        exceeding either yields UNKNOWN, which is never persisted, so
+        decided verdicts are limit-independent.  Loop unrolling and
+        recursion cloning happen before the PDG exists, so they are
+        already covered by the per-function content keys."""
+        solver = self.config.solver
+        sparse = self.config.sparse
+        return {
+            "engine": self.name,
+            "width": self.pdg.program.width,
+            "optimized": solver.optimized,
+            "use_quickpaths": solver.use_quickpaths,
+            "local_passes": None if solver.local_passes is None
+            else list(solver.local_passes),
+            "want_model": solver.want_model,
+            "enabled_passes": None if solver.solver.enabled_passes is None
+            else list(solver.solver.enabled_passes),
+            "use_preprocess": solver.solver.use_preprocess,
+            "sparse": [sparse.max_paths_per_pair, sparse.max_path_len,
+                       sparse.max_candidates, sparse.revisit_cap],
+            "triage": None if triage is None
+            else [triage.config.max_refinement_steps,
+                  triage.config.widen_after],
+        }
 
     def _slice_cache(self, exec_config: Optional[ExecConfig]
                      ) -> Optional[SliceCache]:

@@ -39,6 +39,7 @@ from repro.sparse.engine import SparseConfig, collect_candidates
 if TYPE_CHECKING:  # imported lazily via the plan object; no runtime cycle
     from repro.absint.triage import CandidateTriage
     from repro.exec.scheduler import ExecutionPlan, QueryOutcome
+    from repro.exec.store import StoreBinding
 
 
 @dataclass
@@ -76,7 +77,8 @@ def run_analysis(pdg: ProgramDependenceGraph, checker: Checker,
                  sparse_config: Optional[SparseConfig] = None,
                  query_records: Optional[list[QueryRecord]] = None,
                  execution: Optional["ExecutionPlan"] = None,
-                 triage: Optional["CandidateTriage"] = None
+                 triage: Optional["CandidateTriage"] = None,
+                 store: Optional["StoreBinding"] = None
                  ) -> AnalysisResult:
     budget = budget if budget is not None else Budget()
     budget.restart_clock()
@@ -89,6 +91,7 @@ def run_analysis(pdg: ProgramDependenceGraph, checker: Checker,
     #: merged into ``result.reports`` in index order even on budget aborts.
     reports: dict[int, BugReport] = {}
     pending: Optional[list[int]] = None
+    candidates: list[BugCandidate] = []
 
     try:
         if telemetry is not None:
@@ -99,13 +102,25 @@ def run_analysis(pdg: ProgramDependenceGraph, checker: Checker,
             candidates = collect_candidates(pdg, checker, sparse_config)
         result.candidates = len(candidates)
 
+        if store is not None:
+            # Warm-run replay: verdicts whose recorded dependencies are
+            # unchanged come straight from the persistent store; only the
+            # rest flow into triage and the solve loop.
+            if telemetry is not None:
+                with telemetry.stage("store_replay"):
+                    pending = store.replay(candidates, reports)
+            else:
+                pending = store.replay(candidates, reports)
+            result.replayed_verdicts = len(candidates) - len(pending)
+
         if triage is not None:
             if telemetry is not None:
                 with telemetry.stage("triage"):
                     pending = _run_triage(candidates, triage, reports,
-                                          result)
+                                          result, pending)
             else:
-                pending = _run_triage(candidates, triage, reports, result)
+                pending = _run_triage(candidates, triage, reports, result,
+                                      pending)
             if telemetry is not None:
                 telemetry.record_triage(
                     result.triage_decided_infeasible,
@@ -116,19 +131,27 @@ def run_analysis(pdg: ProgramDependenceGraph, checker: Checker,
 
         if execution is not None and execution.spec is not None:
             _run_scheduled(candidates, pending, execution, result, budget,
-                           query_records, reports)
+                           query_records, reports, store)
         else:
             policy = execution.config.faults if execution is not None \
                 else None
             _run_sequential(candidates, pending, solve_candidate,
                             memory_snapshot, result, budget, query_records,
-                            telemetry, reports, policy)
+                            telemetry, reports, policy, store)
     except MemoryBudgetExceeded:
         result.failure = "memory"
     except TimeBudgetExceeded:
         result.failure = "time"
     except ResourceExceeded:
         result.failure = "resource"
+    if store is not None:
+        # Persist this run's verdicts (partial results included on budget
+        # aborts) and the function records the next diff starts from.
+        if telemetry is not None:
+            with telemetry.stage("store_commit"):
+                store.commit(candidates, reports)
+        else:
+            store.commit(candidates, reports)
     result.reports = [reports[index] for index in sorted(reports)]
 
     total, condition = memory_snapshot()
@@ -147,14 +170,20 @@ def run_analysis(pdg: ProgramDependenceGraph, checker: Checker,
 
 def _run_triage(candidates: list[BugCandidate],
                 triage: "CandidateTriage", reports: dict[int, BugReport],
-                result: AnalysisResult) -> list[int]:
+                result: AnalysisResult,
+                indices: Optional[list[int]] = None) -> list[int]:
     """Decide what the abstract interpreter can; return the indices that
     still need an SMT query (always full-list indices — the process
-    backend's workers re-collect the complete candidate list)."""
+    backend's workers re-collect the complete candidate list).
+
+    ``indices`` restricts triage to those positions (store-replayed
+    verdicts never re-enter triage)."""
     from repro.absint.triage import TriageVerdict
 
     pending: list[int] = []
-    for index, candidate in enumerate(candidates):
+    index_list = range(len(candidates)) if indices is None else indices
+    for index in index_list:
+        candidate = candidates[index]
         decision = triage.decide(candidate)
         if decision.verdict is TriageVerdict.NEEDS_SMT:
             pending.append(index)
@@ -164,8 +193,11 @@ def _run_triage(candidates: list[BugCandidate],
             result.triage_decided_feasible += 1
         else:
             result.triage_decided_infeasible += 1
+        # Sorted for determinism: store replay reads witnesses back from
+        # sorted-key JSON, so cold output must use the same key order.
         reports[index] = BugReport(candidate, feasible,
-                                   witness=dict(decision.witness),
+                                   witness=dict(sorted(
+                                       decision.witness.items())),
                                    decided_in_triage=True)
     return pending
 
@@ -176,7 +208,8 @@ def _run_sequential(candidates: list[BugCandidate],
                     result: AnalysisResult, budget: Budget,
                     query_records: Optional[list[QueryRecord]],
                     telemetry, reports: dict[int, BugReport],
-                    policy=None) -> None:
+                    policy=None, store: Optional["StoreBinding"] = None
+                    ) -> None:
     """The seed per-candidate loop (shared engine, in submission order).
 
     ``policy`` (a :class:`~repro.exec.faults.FaultPolicy`, present when
@@ -225,6 +258,8 @@ def _run_sequential(candidates: list[BugCandidate],
             telemetry.record_query(smt_result.status, seconds,
                                    smt_result.decided_in_preprocess,
                                    smt_result.condition_nodes)
+        if store is not None:
+            store.observe(index, smt_result.status)
         feasible = smt_result.status is not SmtStatus.UNSAT
         reports[index] = BugReport(
             candidate, feasible, smt_result.decided_in_preprocess,
@@ -244,7 +279,8 @@ def _run_scheduled(candidates: list[BugCandidate],
                    execution: "ExecutionPlan", result: AnalysisResult,
                    budget: Budget,
                    query_records: Optional[list[QueryRecord]],
-                   reports: dict[int, BugReport]) -> None:
+                   reports: dict[int, BugReport],
+                   store: Optional["StoreBinding"] = None) -> None:
     """Dispatch the candidates through the plan's worker pool.
 
     Outcomes are assembled into reports even when a budget violation
@@ -270,6 +306,8 @@ def _run_scheduled(candidates: list[BugCandidate],
                     outcome.status, outcome.seconds,
                     outcome.decided_in_preprocess,
                     outcome.condition_nodes))
+            if store is not None:
+                store.observe(outcome.index, outcome.status)
             reports[outcome.index] = BugReport(
                 candidates[outcome.index], outcome.feasible,
                 outcome.decided_in_preprocess, outcome.seconds,

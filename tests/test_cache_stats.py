@@ -1,0 +1,103 @@
+"""The SliceCache stats contract: atomic snapshots under concurrency.
+
+``SliceCache.stats()`` takes every counter in one locked read, so the
+``hits + misses == lookups`` invariant must hold in *every* snapshot a
+reader takes, even while worker threads are hammering the cache — a
+torn read (counters taken under separate lock acquisitions) would
+violate it intermittently.
+"""
+
+import random
+import threading
+
+from repro.bench import SubjectSpec, generate_subject
+from repro.checkers import NullDereferenceChecker
+from repro.exec import CacheStats, SliceCache
+from repro.fusion import prepare_pdg
+from repro.sparse.engine import collect_candidates
+
+
+def make_workload(seed=0):
+    spec = SubjectSpec("cache-stats", seed=seed, num_functions=6,
+                       layers=3, avg_stmts=5, call_fanout=2,
+                       null_bugs=(1, 1, 1))
+    pdg = prepare_pdg(generate_subject(spec).program)
+    candidates = collect_candidates(pdg, NullDereferenceChecker())
+    assert candidates
+    return pdg, candidates
+
+
+class TestSnapshot:
+    def test_stats_fields_and_invariant(self):
+        pdg, candidates = make_workload()
+        cache = SliceCache(capacity=2)
+        for candidate in candidates * 2:
+            cache.get(pdg, [candidate.path])
+        stats = cache.stats()
+        assert isinstance(stats, CacheStats)
+        assert stats.hits + stats.misses == stats.lookups
+        assert stats.lookups == 2 * len(candidates)
+        assert stats.size <= 2
+        assert stats.capacity == 2
+        assert stats.evictions >= 0
+
+    def test_disabled_cache_counts_lookups(self):
+        pdg, candidates = make_workload()
+        cache = SliceCache(capacity=0)
+        for candidate in candidates:
+            cache.get(pdg, [candidate.path])
+        stats = cache.stats()
+        assert stats.hits == 0
+        assert stats.misses == stats.lookups == len(candidates)
+        assert stats.size == 0
+
+    def test_counters_tuple_still_matches(self):
+        pdg, candidates = make_workload()
+        cache = SliceCache(capacity=None)
+        for candidate in candidates:
+            cache.get(pdg, [candidate.path])
+        stats = cache.stats()
+        assert cache.counters() == (stats.hits, stats.misses,
+                                    stats.evictions)
+
+
+class TestConcurrentHammer:
+    def test_invariant_holds_in_every_snapshot(self):
+        """Regression: 8 writer threads + a snapshot reader; every
+        snapshot must satisfy hits + misses == lookups, and the final
+        totals must account for every get()."""
+        pdg, candidates = make_workload()
+        cache = SliceCache(capacity=2)  # tiny: force constant eviction
+        rounds_per_thread = 60
+        threads = 8
+        stop = threading.Event()
+        torn: list[CacheStats] = []
+
+        def reader():
+            while not stop.is_set():
+                stats = cache.stats()
+                if stats.hits + stats.misses != stats.lookups:
+                    torn.append(stats)
+
+        def writer(seed):
+            rng = random.Random(seed)
+            for _ in range(rounds_per_thread):
+                candidate = rng.choice(candidates)
+                cache.get(pdg, [candidate.path])
+
+        watcher = threading.Thread(target=reader)
+        watcher.start()
+        workers = [threading.Thread(target=writer, args=(i,))
+                   for i in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        stop.set()
+        watcher.join()
+
+        assert torn == []
+        final = cache.stats()
+        assert final.lookups == threads * rounds_per_thread
+        assert final.hits + final.misses == final.lookups
+        assert final.size <= 2

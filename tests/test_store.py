@@ -1,0 +1,285 @@
+"""Unit and integration tests for the persistent artifact store.
+
+Contract under test (`repro.exec.store`, docs/caching.md):
+
+* content keys are stable under formatting and unrelated-function edits,
+  and sensitive to any body change;
+* a warm run on an unchanged program replays every verdict with zero
+  SMT queries and an identical report list;
+* invalidation is per-entry and dependency-exact — editing one function
+  re-solves only candidates whose recorded deps touch it;
+* UNKNOWN verdicts are never persisted;
+* any corrupted store file degrades to a miss, never an error.
+"""
+
+import json
+import os
+import re
+
+import pytest
+
+from repro.bench import SubjectSpec, generate_subject
+from repro.checkers import NullDereferenceChecker
+from repro.exec import ArtifactStore, Telemetry
+from repro.fusion import FusionEngine, prepare_pdg
+from repro.lang import LoweringConfig, compile_source
+from repro.lang.fingerprint import function_key, program_keys
+from repro.smt.solver import SmtStatus
+
+
+def fuzz_source(seed: int) -> str:
+    spec = SubjectSpec("store-unit", seed=seed, num_functions=5,
+                       layers=2, avg_stmts=5, call_fanout=2,
+                       null_bugs=(1, 1, 1))
+    return generate_subject(spec).source
+
+
+def program_of(source: str):
+    return compile_source(source, LoweringConfig())
+
+
+def edit_one_constant(source: str) -> str:
+    """Bump the first additive constant in the source (a body edit that
+    touches exactly one function)."""
+    edited, count = re.subn(r"\+ (\d+);",
+                            lambda m: f"+ {int(m.group(1)) + 1};",
+                            source, count=1)
+    assert count == 1, "generator produced no additive constant"
+    return edited
+
+
+def analyze(source: str, store=None, telemetry=None):
+    engine = FusionEngine(prepare_pdg(program_of(source)))
+    return engine.analyze(NullDereferenceChecker(), store=store,
+                          telemetry=telemetry)
+
+
+def report_key(result):
+    return [(r.feasible, r.source.function, repr(r.source.stmt),
+             r.sink.function, repr(r.sink.stmt),
+             tuple(sorted(r.witness.items())))
+            for r in result.reports]
+
+
+# --------------------------------------------------------------------- #
+# Content keys
+# --------------------------------------------------------------------- #
+
+
+class TestFingerprints:
+    def test_stable_under_whitespace_and_comments(self):
+        src = fuzz_source(3)
+        noisy = "# header comment\n" + src.replace("\n", "\n\n", 5)
+        assert program_keys(program_of(src)) \
+            == program_keys(program_of(noisy))
+
+    def test_unrelated_edit_leaves_other_keys_alone(self):
+        src = fuzz_source(4)
+        program = program_of(src)
+        edited = program_of(edit_one_constant(src))
+        before = program_keys(program)
+        after = program_keys(edited)
+        assert before != after
+        changed = [fn for fn in before if before[fn] != after.get(fn)]
+        assert len(changed) == 1
+
+    def test_sensitive_to_width(self):
+        program = program_of(fuzz_source(5))
+        fn = next(iter(program.functions.values()))
+        assert function_key(fn, 8) != function_key(fn, 16)
+
+
+# --------------------------------------------------------------------- #
+# Warm replay
+# --------------------------------------------------------------------- #
+
+
+class TestWarmReplay:
+    def test_unchanged_program_replays_everything(self, tmp_path):
+        src = fuzz_source(11)
+        store = ArtifactStore(str(tmp_path), label="t")
+        cold = analyze(src, store=store)
+        assert cold.candidates > 0
+        assert store.last_run.cold
+        assert store.last_run.committed == cold.candidates
+
+        warm = analyze(src, store=store)
+        stats = store.last_run
+        assert not stats.cold
+        assert warm.smt_queries == 0
+        assert warm.replayed_verdicts == warm.candidates
+        assert stats.hits == cold.candidates
+        assert stats.misses == 0 and stats.invalidations == 0
+        assert stats.dirty_functions == set()
+        assert report_key(warm) == report_key(cold)
+        assert all(r.replayed for r in warm.reports)
+
+    def test_replay_counts_flow_into_telemetry(self, tmp_path):
+        src = fuzz_source(12)
+        store = ArtifactStore(str(tmp_path), label="t")
+        analyze(src, store=store)
+        telemetry = Telemetry()
+        warm = analyze(src, store=store, telemetry=telemetry)
+        section = telemetry.as_dict()["store"]
+        assert section["store_hits"] == warm.candidates
+        assert section["replayed_verdicts"] == warm.candidates
+        assert section["store_misses"] == 0
+        assert section["dirty_functions"] == 0
+
+    def test_different_config_never_shares_entries(self, tmp_path):
+        src = fuzz_source(13)
+        store = ArtifactStore(str(tmp_path), label="t")
+        analyze(src, store=store)
+        from repro.fusion import FusionConfig, GraphSolverConfig
+
+        engine = FusionEngine(prepare_pdg(program_of(src)),
+                              FusionConfig(solver=GraphSolverConfig(
+                                  use_quickpaths=False)))
+        engine.analyze(NullDereferenceChecker(), store=store)
+        stats = store.last_run
+        assert stats.hits == 0  # distinct config fingerprint, distinct keys
+        assert stats.cold      # and distinct per-function state records
+
+
+# --------------------------------------------------------------------- #
+# Invalidation
+# --------------------------------------------------------------------- #
+
+
+class TestInvalidation:
+    def test_edit_invalidates_only_dependents(self, tmp_path):
+        src = fuzz_source(21)
+        store = ArtifactStore(str(tmp_path), label="t")
+        cold = analyze(src, store=store)
+        edited = edit_one_constant(src)
+        warm = analyze(edited, store=store)
+        stats = store.last_run
+        assert stats.hits + stats.invalidations + stats.misses \
+            == warm.candidates
+        # The warm result must equal a from-scratch run on the edit.
+        fresh = analyze(edited)
+        assert report_key(warm) == report_key(fresh)
+        assert warm.smt_queries + warm.replayed_verdicts \
+            == cold.candidates or warm.candidates != cold.candidates
+
+    def test_added_function_keeps_existing_verdicts(self, tmp_path):
+        src = fuzz_source(22)
+        store = ArtifactStore(str(tmp_path), label="t")
+        cold = analyze(src, store=store)
+        grown = src + ("\nfun zzz_new(a, b) {\n  v1 = a + 1;\n"
+                       "  return v1 * 2 + 1;\n}\n")
+        warm = analyze(grown, store=store)
+        stats = store.last_run
+        assert stats.dirty_functions == {"zzz_new"}
+        assert stats.hits == cold.candidates
+        assert warm.smt_queries == 0
+
+    def test_deleted_function_recorded_as_dirty(self, tmp_path):
+        extra = ("\nfun zzz_new(a, b) {\n  v1 = a + 1;\n"
+                 "  return v1 * 2 + 1;\n}\n")
+        src = fuzz_source(23)
+        store = ArtifactStore(str(tmp_path), label="t")
+        analyze(src + extra, store=store)
+        warm = analyze(src, store=store)
+        stats = store.last_run
+        assert "zzz_new" in stats.changed_functions
+        assert report_key(warm) == report_key(analyze(src))
+
+
+# --------------------------------------------------------------------- #
+# UNKNOWN verdicts and corruption
+# --------------------------------------------------------------------- #
+
+
+class TestUncacheable:
+    def test_unknown_is_never_persisted(self, tmp_path):
+        src = fuzz_source(31)
+        store = ArtifactStore(str(tmp_path), label="t")
+        pdg = prepare_pdg(program_of(src))
+        binding = store.bind(pdg, {"engine": "fusion"}, "null-deref")
+        from repro.checkers.base import BugReport
+        from repro.sparse.engine import collect_candidates
+
+        candidates = collect_candidates(pdg, NullDereferenceChecker())
+        assert candidates
+        reports = {}
+        pending = binding.replay(candidates, reports)
+        assert pending == list(range(len(candidates)))
+        for index, candidate in enumerate(candidates):
+            reports[index] = BugReport(candidate, True)
+            binding.observe(index, SmtStatus.UNKNOWN)
+        binding.commit(candidates, reports)
+        assert store.last_run.committed == 0
+        # And the next run misses on everything.
+        binding2 = store.bind(pdg, {"engine": "fusion"}, "null-deref")
+        assert binding2.replay(candidates, {}) \
+            == list(range(len(candidates)))
+        assert binding2.stats.misses == len(candidates)
+
+
+class TestCorruption:
+    def _object_files(self, root):
+        out = []
+        for dirpath, _dirs, files in os.walk(os.path.join(root, "objects")):
+            out.extend(os.path.join(dirpath, f) for f in files)
+        return sorted(out)
+
+    @pytest.mark.parametrize("garbage", [
+        "", "not json", '{"schema": "repro-exec-store/999"}',
+        '["a", "list"]', '{"deps": 5, "report": null}',
+    ])
+    def test_corrupt_entries_degrade_to_miss(self, tmp_path, garbage):
+        src = fuzz_source(41)
+        store = ArtifactStore(str(tmp_path), label="t")
+        cold = analyze(src, store=store)
+        for path in self._object_files(str(tmp_path)):
+            with open(path, "w") as handle:
+                handle.write(garbage)
+        warm = analyze(src, store=store)
+        assert store.last_run.hits == 0
+        assert report_key(warm) == report_key(cold)
+        # The rewrite repairs the store: the next run replays fully.
+        again = analyze(src, store=store)
+        assert again.smt_queries == 0
+
+    def test_corrupt_state_file_means_cold_diff(self, tmp_path):
+        src = fuzz_source(42)
+        store = ArtifactStore(str(tmp_path), label="t")
+        analyze(src, store=store)
+        state_dir = os.path.join(str(tmp_path), "state")
+        for name in os.listdir(state_dir):
+            with open(os.path.join(state_dir, name), "w") as handle:
+                handle.write("{broken")
+        warm = analyze(src, store=store)
+        # Entries themselves are intact, so verdicts still replay; only
+        # the dirty-set diff loses its baseline.
+        assert store.last_run.cold
+        assert warm.smt_queries == 0
+
+    def test_store_dir_never_required(self, tmp_path):
+        """A store rooted at an unwritable path degrades to no caching."""
+        blocked = os.path.join(str(tmp_path), "flat")
+        with open(blocked, "w") as handle:
+            handle.write("a plain file where the store dir should be")
+        store = ArtifactStore(blocked, label="t")
+        src = fuzz_source(43)
+        result = analyze(src, store=store)
+        assert result.failure is None
+        warm = analyze(src, store=store)
+        assert report_key(warm) == report_key(result)
+
+
+class TestEntryLayout:
+    def test_entries_are_schema_tagged_sorted_json(self, tmp_path):
+        src = fuzz_source(51)
+        store = ArtifactStore(str(tmp_path), label="t")
+        analyze(src, store=store)
+        files = TestCorruption()._object_files(str(tmp_path))
+        assert files
+        for path in files:
+            with open(path) as handle:
+                text = handle.read()
+            payload = json.loads(text)
+            assert payload["schema"] == "repro-exec-store/1"
+            assert set(payload) >= {"deps", "report"}
+            assert text == json.dumps(payload, sort_keys=True)

@@ -1,0 +1,131 @@
+"""Differential suite: warm re-analysis never changes the report list.
+
+For 25 seeded generator programs, a cold ``--cache-dir`` run is followed
+by warm runs against four mutation kinds — no-op whitespace, a
+single-function body edit, a function added, a function deleted — and
+each warm result must equal a from-scratch cold run on the mutated
+program.  The no-op and single-edit cases additionally pin the dirty
+set exactly: empty for the no-op, exactly the edited function for a
+body edit that leaves the function's interface (quick-path summary,
+parameters, return variable) unchanged.
+"""
+
+import re
+import tempfile
+
+import pytest
+
+from repro.bench import SubjectSpec, generate_subject
+from repro.checkers import NullDereferenceChecker
+from repro.exec import ArtifactStore
+from repro.fusion import FusionEngine, prepare_pdg
+from repro.lang import LoweringConfig, compile_source
+
+SEEDS = list(range(25))
+
+EXTRA_FUNCTION = ("\nfun zzz_added(a, b) {\n  v1 = a + b;\n"
+                  "  return v1 * 2 + 1;\n}\n")
+
+
+def fuzz_source(seed: int) -> str:
+    spec = SubjectSpec("store-diff", seed=seed, num_functions=5,
+                       layers=2, avg_stmts=5, call_fanout=2,
+                       null_bugs=(1, 1, 1))
+    return generate_subject(spec).source
+
+
+def analyze(source: str, store=None):
+    pdg = prepare_pdg(compile_source(source, LoweringConfig()))
+    return FusionEngine(pdg).analyze(NullDereferenceChecker(), store=store)
+
+
+def report_key(result):
+    """Order-sensitive, index-free report identity."""
+    return [(r.feasible, r.source.function, repr(r.source.stmt),
+             r.sink.function, repr(r.sink.stmt),
+             tuple(sorted(r.witness.items())))
+            for r in result.reports]
+
+
+def whitespace_noop(source: str) -> tuple[str, str]:
+    return "\n\n" + source.replace("\n}", "\n}\n") + "\n", ""
+
+
+def body_edit(source: str) -> tuple[str, str]:
+    """Insert an unused statement at the top of the first function —
+    content changes, interface (summary/params/return) does not."""
+    match = re.search(r"fun (\w+)\([^)]*\) \{\n", source)
+    assert match is not None
+    edited = (source[:match.end()] + "  zq_edit = 7;\n"
+              + source[match.end():])
+    return edited, match.group(1)
+
+
+def add_function(source: str) -> tuple[str, str]:
+    return source + EXTRA_FUNCTION, "zzz_added"
+
+
+def delete_function(source: str) -> tuple[str, str]:
+    """The cold run sees source+extra; the warm run sees it deleted."""
+    return source, "zzz_added"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_noop_whitespace_replays_everything(seed):
+    src = fuzz_source(seed)
+    with tempfile.TemporaryDirectory() as root:
+        store = ArtifactStore(root, label="diff")
+        cold = analyze(src, store=store)
+        assert cold.candidates > 0, "fuzz spec generated no candidates"
+        mutated, _ = whitespace_noop(src)
+        warm = analyze(mutated, store=store)
+        stats = store.last_run
+        assert stats.dirty_functions == set()
+        assert stats.changed_functions == set()
+        assert warm.smt_queries == 0
+        assert warm.replayed_verdicts == warm.candidates
+        assert report_key(warm) == report_key(cold)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_single_function_edit_dirties_exactly_that_function(seed):
+    src = fuzz_source(seed)
+    with tempfile.TemporaryDirectory() as root:
+        store = ArtifactStore(root, label="diff")
+        analyze(src, store=store)
+        mutated, edited_fn = body_edit(src)
+        warm = analyze(mutated, store=store)
+        stats = store.last_run
+        assert stats.changed_functions == {edited_fn}
+        assert stats.dirty_functions == {edited_fn}
+        assert report_key(warm) == report_key(analyze(mutated))
+        # Only candidates whose recorded deps include the edited
+        # function may re-solve; everything else replays.
+        assert stats.hits + stats.invalidations + stats.misses \
+            == warm.candidates
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_mutated_warm_equals_mutated_cold(seed):
+    """The rotated mutation ladder: every warm run must agree with a
+    from-scratch run on the mutated program, byte for byte at the
+    report level."""
+    src = fuzz_source(seed)
+    mutate = (body_edit, add_function, delete_function)[seed % 3]
+    with tempfile.TemporaryDirectory() as root:
+        store = ArtifactStore(root, label="diff")
+        cold_src = src + EXTRA_FUNCTION if mutate is delete_function \
+            else src
+        analyze(cold_src, store=store)
+        mutated, touched = mutate(src)
+        warm = analyze(mutated, store=store)
+        stats = store.last_run
+        assert not stats.cold
+        if mutate is add_function:
+            assert stats.dirty_functions == {touched}
+            assert warm.smt_queries == 0  # nothing calls the new function
+        if mutate is delete_function:
+            assert touched in stats.changed_functions
+        fresh = analyze(mutated)
+        assert report_key(warm) == report_key(fresh)
+        assert warm.candidates == fresh.candidates
