@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""CI gate for incremental assumption-based solving (see docs/solver.md).
+
+Runs ``repro analyze`` twice on a two-function example whose null-deref
+candidates share one sink function (hence one solver session) — once
+with ``--incremental`` (the default) and once with ``--no-incremental``
+— and checks:
+
+* the findings (verdicts and ordering) are identical;
+* the incremental run actually reused solver state: ``encoder_hits > 0``
+  and ``assumption_solves > 0`` in the telemetry ``incremental``
+  section;
+* the incremental run's total solve time is not slower than the
+  one-shot baseline beyond a noise margin.
+
+Exits nonzero with a diagnostic on the first violated property.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import sys
+import tempfile
+from contextlib import redirect_stdout
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+from repro.cli import main  # noqa: E402  (path bootstrap above)
+
+#: Two functions; both deref sites sit in ``main`` so both candidates
+#: land in one (checker, sink-function) group and share a session.  The
+#: multiplicative guards defeat the preprocessor (both queries reach the
+#: SAT stage, one SAT and one UNSAT), and they share the ``a * b`` /
+#: ``bar`` structure, so the second query's bit-blasting is partly
+#: served from the session's encoder cache.
+SOURCE = """
+fun bar(x) {
+  y = x * 3;
+  z = y + 1;
+  return z;
+}
+fun main(a, b) {
+  p = null;
+  q = null;
+  c = bar(a);
+  d = bar(b);
+  e = a * b;
+  f = a * a;
+  if (e == 57) { deref(p); }
+  if (f == c) { deref(q); }
+  return 0;
+}
+"""
+
+
+def fail(message: str) -> None:
+    print(f"check_incremental: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def analyze(source_path: str, telemetry_path: str,
+            incremental: bool) -> tuple[dict, dict]:
+    flag = "--incremental" if incremental else "--no-incremental"
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(["analyze", "--subject", source_path, "--json",
+                     "--telemetry", telemetry_path, flag])
+    if code != 0:
+        fail(f"analyze {flag} exited {code}")
+    with open(telemetry_path) as handle:
+        telemetry = json.load(handle)
+    return json.loads(buffer.getvalue()), telemetry
+
+
+def strip(findings: list[dict]) -> list[tuple]:
+    # Witnesses are excluded: incremental sessions may produce a
+    # different (equally valid) model; everything else must match.
+    return [(f["feasible"], f["source_function"], f["source"],
+             f["sink_function"], f["sink"]) for f in findings]
+
+
+def run() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        source = os.path.join(tmp, "example.fl")
+        with open(source, "w") as handle:
+            handle.write(SOURCE)
+        inc_out, inc_tel = analyze(
+            source, os.path.join(tmp, "inc.json"), incremental=True)
+        base_out, base_tel = analyze(
+            source, os.path.join(tmp, "base.json"), incremental=False)
+
+    if strip(inc_out["findings"]) != strip(base_out["findings"]):
+        fail("incremental findings differ from one-shot findings:\n"
+             f"  incremental: {strip(inc_out['findings'])}\n"
+             f"  one-shot:    {strip(base_out['findings'])}")
+    if not inc_out["findings"]:
+        fail("example produced no findings; the gate is vacuous")
+
+    counters = inc_tel["incremental"]
+    if counters["sessions"] <= 0:
+        fail(f"no solver session was opened: {counters}")
+    if counters["assumption_solves"] <= 0:
+        fail(f"no query was solved under assumptions: {counters}")
+    if counters["encoder_hits"] <= 0:
+        fail(f"the encoder cache was never hit: {counters}")
+    base_counters = base_tel["incremental"]
+    if any(base_counters.values()):
+        fail(f"--no-incremental run touched sessions: {base_counters}")
+
+    inc_solve = inc_tel["solver"]["solve_seconds"]
+    base_solve = base_tel["solver"]["solve_seconds"]
+    # Noise floor: sub-50 ms totals are all timer jitter; above it the
+    # incremental run must stay within 1.5x of the one-shot baseline.
+    if base_solve > 0.05 and inc_solve > base_solve * 1.5:
+        fail(f"incremental solving is slower than one-shot: "
+             f"{inc_solve:.3f}s vs {base_solve:.3f}s")
+
+    print(f"check_incremental: OK — findings identical, "
+          f"{counters['sessions']} session(s), "
+          f"{counters['assumption_solves']} assumption solve(s), "
+          f"{counters['encoder_hits']} encoder hit(s), "
+          f"solve {base_solve:.3f}s -> {inc_solve:.3f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

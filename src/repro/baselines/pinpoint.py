@@ -36,6 +36,7 @@ from repro.fusion.transform import ConditionTransformer
 from repro.limits import Budget, Deadline, QueryDeadlineExceeded
 from repro.pdg.graph import ProgramDependenceGraph
 from repro.pdg.slicing import Slice, compute_slice
+from repro.smt.incremental import SessionStats, SolverSession
 from repro.smt.preprocess import constraint_set_size
 from repro.smt.solver import SmtResult, SmtSolver, SmtStatus, SolverConfig
 from repro.smt.tactics import eliminate_quantifier, hfs_simplify, lfs_simplify
@@ -56,6 +57,10 @@ class PinpointConfig:
     #: AR mode: solve by iterative condition extension instead of one shot.
     abstraction_refinement: bool = False
     variant_suffix: str = ""
+    #: Route grouped queries through persistent assumption-based solver
+    #: sessions (see ``GraphSolverConfig.incremental``); opt-in, the CLI
+    #: enables it per run.
+    incremental: bool = False
 
 
 class PinpointEngine:
@@ -68,6 +73,8 @@ class PinpointEngine:
         self.transformer = ConditionTransformer(pdg)
         self.smt = SmtSolver(self.transformer.manager, self.config.solver)
         self._summary_cache: dict[tuple, list[Term]] = {}
+        self._sessions: dict[object, SolverSession] = {}
+        self.session_stats = SessionStats()
         self.cached_condition_nodes = 0
         self.peak_condition_nodes = 0
         self.query_records: list[QueryRecord] = []
@@ -139,6 +146,7 @@ class PinpointEngine:
         cache = None
         if exec_config is not None and exec_config.effective_jobs <= 1:
             cache = SliceCache(exec_config.slice_cache_capacity)
+        incremental = self.config.incremental
 
         def solve(candidate: BugCandidate) -> SmtResult:
             # One deadline covers the whole query — slicing included.
@@ -151,7 +159,9 @@ class PinpointEngine:
             else:
                 the_slice = compute_slice(self.pdg, [candidate.path],
                                           deadline=deadline)
-            return self._solve_one(candidate, the_slice, deadline=deadline)
+            group = candidate.group_key() if incremental else None
+            return self._solve_one(candidate, the_slice, deadline=deadline,
+                                   group=group)
 
         execution = None
         if exec_config is not None or telemetry is not None:
@@ -165,7 +175,8 @@ class PinpointEngine:
                                   pinpoint_query_factory,
                                   replace(self.config, budget=None),
                                   query_timeout=self.config.solver
-                                  .time_limit)
+                                  .time_limit,
+                                  grouped=incremental)
             execution = ExecutionPlan(config, spec, telemetry)
 
         triage = make_triage(self.pdg, checker, triage)
@@ -183,6 +194,14 @@ class PinpointEngine:
             telemetry.record_cache("slice", stats.hits, stats.misses,
                                    stats.evictions,
                                    capacity=stats.capacity)
+        if telemetry is not None and incremental:
+            # Sequential-path sessions live on this engine; worker-side
+            # sessions are recorded by the scheduler.
+            telemetry.record_incremental(
+                **dict(zip(("sessions", "assumption_solves",
+                            "reused_clauses", "encoder_hits",
+                            "learned_kept"),
+                           self.session_stats.as_tuple())))
         return result
 
     def _store_fingerprint(self, triage) -> dict:
@@ -201,6 +220,7 @@ class PinpointEngine:
             "summary_tactic": None if config.summary_tactic is None
             else config.summary_tactic.__name__,
             "abstraction_refinement": config.abstraction_refinement,
+            "incremental": config.incremental,
             "sparse": [sparse.max_paths_per_pair, sparse.max_path_len,
                        sparse.max_candidates, sparse.revisit_cap],
             "triage": None if triage is None
@@ -209,24 +229,42 @@ class PinpointEngine:
         }
 
     def _solve_one(self, candidate: BugCandidate, the_slice: Slice,
-                   deadline: Optional[Deadline] = None) -> SmtResult:
+                   deadline: Optional[Deadline] = None,
+                   group: Optional[object] = None) -> SmtResult:
         """Decide one candidate against an already-computed slice,
         bounded by the per-query deadline (defaults to the solver
         config's ``time_limit``).  Overrunning it during summary
-        expansion yields UNKNOWN, never an exception."""
+        expansion yields UNKNOWN, never an exception.  ``group`` (with
+        ``config.incremental``) routes the query through that group's
+        persistent assumption-based solver session."""
         if deadline is None:
             deadline = Deadline.after(self.config.solver.time_limit)
         self._deadline = deadline
+        checker = self._checker_for(group)
         try:
             if self.config.abstraction_refinement:
                 return self._solve_with_refinement(candidate, the_slice,
-                                                   deadline=deadline)
+                                                   deadline=deadline,
+                                                   checker=checker)
             constraints = self._full_condition(candidate, the_slice)
-            return self.smt.check(constraints, deadline=deadline)
+            return checker(constraints, deadline=deadline)
         except QueryDeadlineExceeded:
             return SmtResult(SmtStatus.UNKNOWN)
         finally:
             self._deadline = None
+
+    def _checker_for(self, group: Optional[object]):
+        """The solve entry point for this query: the group's session
+        (incremental mode) or the one-shot solver."""
+        if group is not None and self.config.incremental:
+            session = self._sessions.get(group)
+            if session is None:
+                session = SolverSession(self.transformer.manager,
+                                        self.config.solver,
+                                        stats=self.session_stats)
+                self._sessions[group] = session
+            return session.check
+        return self.smt.check
 
     def _full_condition(self, candidate: BugCandidate,
                         the_slice: Slice,
@@ -282,17 +320,19 @@ class PinpointEngine:
     def _solve_with_refinement(self, candidate: BugCandidate,
                                the_slice: Slice,
                                max_rounds: int = 8,
-                               deadline: Optional[Deadline] = None
-                               ) -> SmtResult:
+                               deadline: Optional[Deadline] = None,
+                               checker=None) -> SmtResult:
         """Solve with a growing abstraction: an UNSAT verdict at any level
         is final; SAT verdicts trigger deeper expansion (each round is a
         fresh SMT query — the cost the paper observes for AR).  All
         rounds share the one per-query deadline."""
+        if checker is None:
+            checker = self.smt.check
         result: Optional[SmtResult] = None
         for depth in range(max_rounds):
             constraints = self._full_condition(candidate, the_slice,
                                                max_depth=depth)
-            result = self.smt.check(constraints, deadline=deadline)
+            result = checker(constraints, deadline=deadline)
             self._check_memory()
             if result.status is SmtStatus.UNSAT:
                 return result
@@ -326,14 +366,39 @@ def pinpoint_query_factory(pdg: ProgramDependenceGraph,
     across workers any more than Pinpoint's do across machines.
     """
 
+    if config.incremental:
+        return _PinpointGroupRunner(pdg, config)
+
     def query(candidate: BugCandidate, the_slice: Slice,
-              deadline: Optional[Deadline] = None) \
+              deadline: Optional[Deadline] = None,
+              group: Optional[object] = None) \
             -> tuple[SmtResult, tuple[int, int]]:
         engine = PinpointEngine(pdg, config)
         result = engine._solve_one(candidate, the_slice, deadline=deadline)
         return result, engine._memory_snapshot()
 
     return query
+
+
+class _PinpointGroupRunner:
+    """Batch-lifetime runner sharing incremental sessions (see the
+    Fusion counterpart in :mod:`repro.fusion.engine` for the
+    determinism argument)."""
+
+    def __init__(self, pdg: ProgramDependenceGraph,
+                 config: PinpointConfig) -> None:
+        self._engine = PinpointEngine(pdg, config)
+
+    def __call__(self, candidate: BugCandidate, the_slice: Slice,
+                 deadline: Optional[Deadline] = None,
+                 group: Optional[object] = None) \
+            -> tuple[SmtResult, tuple[int, int]]:
+        result = self._engine._solve_one(candidate, the_slice,
+                                         deadline=deadline, group=group)
+        return result, self._engine._memory_snapshot()
+
+    def session_stats(self) -> SessionStats:
+        return self._engine.session_stats.snapshot()
 
 
 # --------------------------------------------------------------------- #
@@ -380,7 +445,8 @@ def _hfs_tactic(engine: PinpointEngine, fn: str,
 def make_pinpoint(pdg: ProgramDependenceGraph, variant: str = "",
                   budget: Optional[Budget] = None,
                   solver: Optional[SolverConfig] = None,
-                  sparse: Optional[SparseConfig] = None) -> PinpointEngine:
+                  sparse: Optional[SparseConfig] = None,
+                  incremental: bool = False) -> PinpointEngine:
     """Factory for ``""`` (plain), ``"qe"``, ``"lfs"``, ``"hfs"``, ``"ar"``."""
     tactics: dict[str, Optional[SummaryTactic]] = {
         "": None, "qe": _qe_tactic, "lfs": _lfs_tactic, "hfs": _hfs_tactic,
@@ -394,5 +460,6 @@ def make_pinpoint(pdg: ProgramDependenceGraph, variant: str = "",
         budget=budget,
         summary_tactic=tactics[variant],
         abstraction_refinement=(variant == "ar"),
-        variant_suffix=f"+{variant.upper()}" if variant else "")
+        variant_suffix=f"+{variant.upper()}" if variant else "",
+        incremental=incremental)
     return PinpointEngine(pdg, config)

@@ -75,6 +75,15 @@ class RunOutcome:
             "unknown": self.result.unknown_queries,
             "errors": self.result.error_queries,
             "replayed": self.result.replayed_verdicts,
+            # Per-query detail, in candidate order: wall seconds and SAT
+            # clause-database size at search time (0 = decided before the
+            # SAT stage).  Machine-readable perf trajectory for
+            # BENCH_incremental.json.
+            "query_seconds": [round(r.seconds, 6)
+                              for r in self.query_records],
+            "query_clauses": [r.sat_clauses for r in self.query_records],
+            "solve_seconds_total": round(
+                sum(r.seconds for r in self.query_records), 6),
             "failure": self.result.failure,
         }
 
@@ -87,25 +96,32 @@ def pdg_for(subject_name: str) -> ProgramDependenceGraph:
 
 def make_engine(engine: str, pdg: ProgramDependenceGraph,
                 budget: Optional[Budget],
-                query_timeout: Optional[float] = None):
+                query_timeout: Optional[float] = None,
+                incremental: bool = False):
     """``query_timeout`` overrides the engine solver's default 10 s
     per-query cap; the deadline it induces covers slicing through the
-    SAT search (see docs/robustness.md)."""
+    SAT search (see docs/robustness.md).  ``incremental`` routes grouped
+    queries through persistent assumption-based solver sessions
+    (docs/solver.md); the infer baseline has no SMT stage and ignores
+    it."""
     smt = SolverConfig(time_limit=query_timeout) \
         if query_timeout is not None else SolverConfig()
     if engine == "fusion":
         return FusionEngine(pdg, FusionConfig(
-            solver=GraphSolverConfig(solver=smt), budget=budget))
+            solver=GraphSolverConfig(solver=smt, incremental=incremental),
+            budget=budget))
     if engine == "fusion-unopt":
         config = FusionConfig(
-            solver=GraphSolverConfig(optimized=False, solver=smt),
+            solver=GraphSolverConfig(optimized=False, solver=smt,
+                                     incremental=incremental),
             budget=budget)
         return FusionEngine(pdg, config)
     if engine == "infer":
         return InferEngine(pdg, InferConfig(budget=budget))
     if engine.startswith("pinpoint"):
         variant = engine.partition("+")[2].lower()
-        return make_pinpoint(pdg, variant, budget=budget, solver=smt)
+        return make_pinpoint(pdg, variant, budget=budget, solver=smt,
+                             incremental=incremental)
     raise ValueError(f"unknown engine {engine!r}")
 
 
@@ -119,7 +135,7 @@ def run_engine(subject_name: str, engine: str, checker_name: str,
                max_retries: Optional[int] = None,
                on_error: str = "unknown",
                fault_plan: Optional[FaultPlan] = None,
-               store=None) -> RunOutcome:
+               store=None, incremental: bool = False) -> RunOutcome:
     """Run one (engine, checker) pair on one subject.
 
     ``jobs=1`` (the default) is the seed sequential path — benchmark
@@ -139,7 +155,8 @@ def run_engine(subject_name: str, engine: str, checker_name: str,
     budget = Budget(max_seconds=time_budget,
                     max_memory_units=memory_budget)
     engine_obj = make_engine(engine, pdg, budget,
-                             query_timeout=query_timeout)
+                             query_timeout=query_timeout,
+                             incremental=incremental)
     checker: Checker = CHECKERS[checker_name]()
     kwargs = {}
     if triage:

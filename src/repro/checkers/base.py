@@ -60,6 +60,17 @@ class BugCandidate:
         """Dedup key: one report per (source stmt, sink stmt) pair."""
         return (self.checker, self.source.index, self.sink.index)
 
+    def group_key(self) -> tuple:
+        """Shared-prefix group for incremental solving.
+
+        Candidates with the same checker and sink function share almost
+        all of their sliced condition (the per-function local conditions
+        of Algorithm 6), so their queries are decided inside one
+        :class:`~repro.smt.incremental.SolverSession`.  The key is
+        picklable and stable across workers.
+        """
+        return (self.checker, self.sink.function)
+
     def __repr__(self) -> str:
         return (f"candidate[{self.checker}: {self.source!r} ~> "
                 f"{self.sink!r}]")

@@ -75,6 +75,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--checker", default="null-deref",
                        choices=sorted(CHECKER_FACTORIES))
     bench.add_argument("--time-budget", type=float, default=120.0)
+    bench.add_argument("--bench-json", metavar="FILE",
+                       default="BENCH_incremental.json",
+                       help="also write the machine-readable bench record "
+                            "(row + incremental-solver counters) here "
+                            "(default BENCH_incremental.json)")
+    bench.add_argument("--no-bench-json", action="store_true",
+                       help="suppress the --bench-json output file")
     _add_exec_arguments(bench)
 
     analyze = sub.add_parser(
@@ -152,25 +159,38 @@ def _add_exec_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-store", action="store_true",
                         help="ignore --cache-dir for this run (neither "
                              "read nor write the store)")
+    parser.add_argument("--incremental",
+                        action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="route grouped queries through persistent "
+                             "assumption-based solver sessions with "
+                             "cross-query clause reuse (--no-incremental "
+                             "restores one-shot solving; default on; the "
+                             "infer baseline has no SMT stage and ignores "
+                             "it — see docs/solver.md)")
 
 
 def _make_engine(name: str, pdg, want_model: bool,
-                 query_timeout: Optional[float] = None):
+                 query_timeout: Optional[float] = None,
+                 incremental: bool = False):
     from repro.smt.solver import SolverConfig
 
     smt = SolverConfig(time_limit=query_timeout) \
         if query_timeout is not None else SolverConfig()
     if name == "fusion":
         return FusionEngine(pdg, FusionConfig(
-            solver=GraphSolverConfig(want_model=want_model, solver=smt)))
+            solver=GraphSolverConfig(want_model=want_model, solver=smt,
+                                     incremental=incremental)))
     if name == "fusion-unopt":
         return FusionEngine(pdg, FusionConfig(
             solver=GraphSolverConfig(optimized=False,
-                                     want_model=want_model, solver=smt)))
+                                     want_model=want_model, solver=smt,
+                                     incremental=incremental)))
     if name == "infer":
         return InferEngine(pdg)
     variant = name.partition("+")[2]
-    return make_pinpoint(pdg, variant, solver=smt)
+    return make_pinpoint(pdg, variant, solver=smt,
+                         incremental=incremental)
 
 
 def cmd_scan(args: argparse.Namespace) -> int:
@@ -313,17 +333,44 @@ def cmd_bench(args: argparse.Namespace) -> int:
               "(infer has no SMT stage)", file=sys.stderr)
         return 2
     exec_config, telemetry = _exec_options(args)
+    bench_telemetry = telemetry
+    if bench_telemetry is None and not args.no_bench_json:
+        # The bench record needs the incremental-solver counters even
+        # when the caller did not ask for a telemetry file; the internal
+        # instance is never written out.  Reports are unaffected (the
+        # differential suite pins exec-path and seed-path reports to be
+        # identical).
+        from repro.exec import Telemetry
+        bench_telemetry = Telemetry()
     fault_plan = exec_config.fault_plan if exec_config is not None else None
     outcome = run_engine(args.subject, args.engine, args.checker,
                          time_budget=args.time_budget,
                          jobs=args.jobs, backend=args.backend,
-                         telemetry=telemetry, triage=args.triage,
+                         telemetry=bench_telemetry, triage=args.triage,
                          query_timeout=args.query_timeout,
                          max_retries=args.max_retries,
                          on_error=args.on_error,
                          fault_plan=fault_plan,
-                         store=_make_store(args))
-    print(json.dumps(outcome.row(), indent=2))
+                         store=_make_store(args),
+                         incremental=args.incremental)
+    row = outcome.row()
+    print(json.dumps(row, indent=2))
+    if not args.no_bench_json:
+        record = {
+            "schema": "repro-bench-incremental/1",
+            "incremental_enabled": args.incremental,
+            "jobs": args.jobs,
+            "row": row,
+            "incremental": bench_telemetry.as_dict()["incremental"],
+        }
+        try:
+            with open(args.bench_json, "w") as handle:
+                json.dump(record, handle, indent=2)
+                handle.write("\n")
+        except OSError as error:
+            print(f"repro: cannot write bench record to "
+                  f"{args.bench_json!r}: {error}", file=sys.stderr)
+            return 2
     if not _write_telemetry(args, telemetry):
         return 2
     return 0 if outcome.failed is None else 2
@@ -355,7 +402,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     program = _resolve_subject_program(args.subject)
     pdg = prepare_pdg(program)
     engine = _make_engine(args.engine, pdg, want_model=True,
-                          query_timeout=args.query_timeout)
+                          query_timeout=args.query_timeout,
+                          incremental=args.incremental)
     checker = CHECKER_FACTORIES[args.checker]()
     kwargs = {"triage": True} if args.triage else {}
     store = _make_store(args)

@@ -29,7 +29,10 @@ from repro.smt.solver import SmtStatus
 #: degradations, synthesized-UNKNOWN outcomes).
 #: /4 added the "store" section (persistent artifact store: verdict
 #: hits/misses/invalidations, dirty-set size, replayed verdicts).
-SCHEMA = "repro-exec-telemetry/4"
+#: /5 added the "incremental" section (assumption-based solver sessions:
+#: sessions opened, assumption solves, clauses/encodings reused, learned
+#: clauses retained across queries).
+SCHEMA = "repro-exec-telemetry/5"
 
 
 class Telemetry:
@@ -60,6 +63,13 @@ class Telemetry:
             "store_invalidations": 0,  # entries present but stale
             "dirty_functions": 0,      # size of this run's dirty set
             "replayed_verdicts": 0,    # reports served without any solve
+        }
+        self.incremental: dict[str, int] = {
+            "sessions": 0,           # solver sessions opened
+            "assumption_solves": 0,  # queries decided under assumptions
+            "reused_clauses": 0,     # clauses already present at a solve
+            "encoder_hits": 0,       # term ids served from the CNF cache
+            "learned_kept": 0,       # learned clauses kept across solves
         }
         self.faults: dict[str, int] = {
             "query_errors": 0,        # isolated per-query exceptions
@@ -148,6 +158,13 @@ class Telemetry:
             for key, amount in counts.items():
                 self.store[key] = self.store.get(key, 0) + amount
 
+    def record_incremental(self, **counts: int) -> None:
+        """One engine's or worker batch's incremental-solving counters
+        (see the ``incremental`` section keys)."""
+        with self._lock:
+            for key, amount in counts.items():
+                self.incremental[key] = self.incremental.get(key, 0) + amount
+
     def record_fault(self, kind: str, amount: int = 1) -> None:
         """One fault-tolerance event (see the ``faults`` section keys)."""
         with self._lock:
@@ -184,6 +201,7 @@ class Telemetry:
                 "memory": dict(self.memory),
                 "triage": dict(self.triage),
                 "store": dict(self.store),
+                "incremental": dict(self.incremental),
                 "faults": dict(self.faults),
             }
 

@@ -54,8 +54,12 @@ def fusion_query_factory(pdg: ProgramDependenceGraph,
     the process backend can pickle it by reference.
     """
 
+    if config.solver.incremental:
+        return _FusionGroupRunner(pdg, config)
+
     def query(candidate: BugCandidate, the_slice,
-              deadline: Optional[Deadline] = None) \
+              deadline: Optional[Deadline] = None,
+              group: Optional[object] = None) \
             -> tuple[SmtResult, tuple[int, int]]:
         engine = FusionEngine(pdg, config)
         result = engine.solver.solve([candidate.path], the_slice,
@@ -63,6 +67,33 @@ def fusion_query_factory(pdg: ProgramDependenceGraph,
         return result, engine._memory_snapshot()
 
     return query
+
+
+class _FusionGroupRunner:
+    """Batch-lifetime query runner sharing incremental sessions.
+
+    The scheduler instantiates one of these per *batch* (batches contain
+    whole groups under group-affinity partitioning), so every candidate
+    of a group is decided inside one engine — same term manager, same
+    per-group :class:`~repro.smt.incremental.SolverSession`.  Determinism
+    holds because a group's queries always arrive in candidate-index
+    order and SAT variable numbering depends only on encoding order.
+    """
+
+    def __init__(self, pdg: ProgramDependenceGraph,
+                 config: FusionConfig) -> None:
+        self._engine = FusionEngine(pdg, config)
+
+    def __call__(self, candidate: BugCandidate, the_slice,
+                 deadline: Optional[Deadline] = None,
+                 group: Optional[object] = None) \
+            -> tuple[SmtResult, tuple[int, int]]:
+        result = self._engine.solver.solve([candidate.path], the_slice,
+                                           deadline=deadline, group=group)
+        return result, self._engine._memory_snapshot()
+
+    def session_stats(self):
+        return self._engine.solver.session_stats.snapshot()
 
 
 class FusionEngine:
@@ -96,6 +127,7 @@ class FusionEngine:
         incremental re-analysis: cached verdicts whose dependencies are
         unchanged are replayed instead of re-solved."""
         cache = self._slice_cache(exec_config)
+        incremental = self.config.solver.incremental
 
         def solve(candidate: BugCandidate) -> SmtResult:
             # One deadline covers the whole query — slicing included.
@@ -108,8 +140,9 @@ class FusionEngine:
             else:
                 the_slice = compute_slice(self.pdg, [candidate.path],
                                           deadline=deadline)
+            group = candidate.group_key() if incremental else None
             return self.solver.solve([candidate.path], the_slice,
-                                     deadline=deadline)
+                                     deadline=deadline, group=group)
 
         execution = self._execution_plan(checker, exec_config, telemetry)
         triage = make_triage(self.pdg, checker, triage)
@@ -127,6 +160,14 @@ class FusionEngine:
             telemetry.record_cache("slice", stats.hits, stats.misses,
                                    stats.evictions,
                                    capacity=stats.capacity)
+        if telemetry is not None and incremental:
+            # Sequential-path sessions live on this engine's own solver;
+            # worker-side sessions are recorded by the scheduler.
+            telemetry.record_incremental(
+                **dict(zip(("sessions", "assumption_solves",
+                            "reused_clauses", "encoder_hits",
+                            "learned_kept"),
+                           self.solver.session_stats.as_tuple())))
         return result
 
     def _store_fingerprint(self, triage) -> dict:
@@ -146,6 +187,9 @@ class FusionEngine:
             "local_passes": None if solver.local_passes is None
             else list(solver.local_passes),
             "want_model": solver.want_model,
+            # Incremental sessions can produce different (equally valid)
+            # SAT models, and witnesses are persisted with verdicts.
+            "incremental": solver.incremental,
             "enabled_passes": None if solver.solver.enabled_passes is None
             else list(solver.solver.enabled_passes),
             "use_preprocess": solver.solver.use_preprocess,
@@ -184,7 +228,8 @@ class FusionEngine:
                               fusion_query_factory,
                               replace(self.config, budget=None),
                               query_timeout=self.config.solver.solver
-                              .time_limit)
+                              .time_limit,
+                              grouped=self.config.solver.incremental)
         return ExecutionPlan(config, spec, telemetry)
 
     def check_simultaneous(self, paths) -> "SmtResult":

@@ -76,10 +76,14 @@ class SatSolver:
         self._heap_pos: list[int] = [-1]
         self._unsat = False
         self._pending_units: list[int] = []
+        # Clauses appended after a solve may watch literals that are
+        # already false on the level-0 trail; the next solve must rescan.
+        self._needs_rescan = False
         self.conflicts = 0
         self.decisions = 0
         self.propagations = 0
         self.minimized_literals = 0
+        self.learned_clauses = 0
 
     # ------------------------------------------------------------------ #
     # Clause database
@@ -100,41 +104,48 @@ class SatSolver:
     # VSIDS order heap (indexed max-heap on activity)
     # ------------------------------------------------------------------ #
 
-    def _heap_less(self, a: int, b: int) -> bool:
-        return self._activity[a] < self._activity[b]
-
-    def _heap_swap(self, i: int, j: int) -> None:
-        heap = self._heap
-        heap[i], heap[j] = heap[j], heap[i]
-        self._heap_pos[heap[i]] = i
-        self._heap_pos[heap[j]] = j
-
     def _heap_sift_up(self, i: int) -> None:
+        # Hot path (every activity bump): local bindings + inlined
+        # activity compares instead of _heap_less/_heap_swap calls.
         heap = self._heap
+        pos = self._heap_pos
+        act = self._activity
+        var = heap[i]
+        key = act[var]
         while i > 0:
             parent = (i - 1) // 2
-            if self._heap_less(heap[parent], heap[i]):
-                self._heap_swap(i, parent)
-                i = parent
-            else:
+            pvar = heap[parent]
+            if act[pvar] >= key:
                 break
+            heap[i] = pvar
+            pos[pvar] = i
+            i = parent
+        heap[i] = var
+        pos[var] = i
 
     def _heap_sift_down(self, i: int) -> None:
         heap = self._heap
+        pos = self._heap_pos
+        act = self._activity
         size = len(heap)
+        var = heap[i]
+        key = act[var]
         while True:
             left = 2 * i + 1
             if left >= size:
                 break
             best = left
             right = left + 1
-            if right < size and self._heap_less(heap[left], heap[right]):
+            if right < size and act[heap[left]] < act[heap[right]]:
                 best = right
-            if self._heap_less(heap[i], heap[best]):
-                self._heap_swap(i, best)
-                i = best
-            else:
+            bvar = heap[best]
+            if key >= act[bvar]:
                 break
+            heap[i] = bvar
+            pos[bvar] = i
+            i = best
+        heap[i] = var
+        pos[var] = i
 
     def _heap_insert(self, var: int) -> None:
         if self._heap_pos[var] >= 0:
@@ -187,6 +198,15 @@ class SatSolver:
         self._clauses.append(lits)
         self._watch(lits[0], idx)
         self._watch(lits[1], idx)
+        if self._trail:
+            # A literal watched here may already be false on the
+            # retained level-0 trail; force a full rescan next solve.
+            self._needs_rescan = True
+
+    def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
+        """Add a batch of clauses between solves (incremental interface)."""
+        for clause in clauses:
+            self.add_clause(clause)
 
     def _watch(self, lit: int, clause_idx: int) -> None:
         self._watches.setdefault(lit, []).append(clause_idx)
@@ -384,17 +404,31 @@ class SatSolver:
 
     def solve(self, conflict_limit: Optional[int] = None,
               time_limit: Optional[float] = None,
-              deadline: Optional[Deadline] = None) -> SatResult:
-        """Run CDCL search.
+              deadline: Optional[Deadline] = None,
+              assumptions: Optional[Sequence[int]] = None) -> SatResult:
+        """Run CDCL search, optionally under ``assumptions``.
 
         ``conflict_limit``/``time_limit`` bound the search and yield
         ``UNKNOWN`` on exhaustion — the reproduction's analogue of the
         paper's 10-second per-query solver budget.  ``deadline`` is an
         absolute cap (the query's shared clock across slicing/preprocess/
         search); the tighter of the two bounds applies.
+
+        ``assumptions`` are literals asserted as pseudo-decisions at
+        levels 1..k (MiniSat-style).  An UNSAT answer under assumptions
+        is *not* permanent: the solver backtracks to level 0 on every
+        exit, keeps all learned clauses (they are resolution consequences
+        of the clause database alone, never of the assumptions), and can
+        be re-solved under a different assumption set.  Only a conflict
+        at level 0 marks the database itself unsatisfiable.
         """
         if self._unsat:
             return SatResult(SatStatus.UNSAT)
+        assumptions = list(assumptions) if assumptions else []
+        for lit in assumptions:
+            if lit == 0:
+                raise ValueError("literal 0 is not allowed")
+            self._ensure_var(abs(lit))
 
         stop_at = time.monotonic() + time_limit \
             if time_limit is not None else None
@@ -408,6 +442,13 @@ class SatSolver:
                 self._unsat = True
                 return SatResult(SatStatus.UNSAT)
         self._pending_units.clear()
+        if self._needs_rescan:
+            # Clauses added since the last solve may watch literals that
+            # were already false on the retained level-0 trail and would
+            # otherwise never be visited; replay the trail through the
+            # watch lists so they propagate (or conflict) now.
+            self._needs_rescan = False
+            self._qhead = 0
 
         restart_count = 0
         restart_budget = luby(restart_count + 1) * 64
@@ -418,7 +459,7 @@ class SatSolver:
                 self.conflicts += 1
                 if self._decision_level() == 0:
                     self._unsat = True
-                    return self._result(SatStatus.UNSAT)
+                    return self._finish(SatStatus.UNSAT)
                 learned, back_level = self._analyze(conflict)
                 self._backjump(back_level)
                 if len(learned) == 1:
@@ -426,15 +467,16 @@ class SatSolver:
                 else:
                     idx = len(self._clauses)
                     self._clauses.append(learned)
+                    self.learned_clauses += 1
                     self._watch(learned[0], idx)
                     self._watch(learned[1], idx)
                     self._enqueue(learned[0], idx)
                 self._var_inc /= self._var_decay
                 restart_budget -= 1
                 if conflict_limit is not None and self.conflicts >= conflict_limit:
-                    return self._result(SatStatus.UNKNOWN)
+                    return self._finish(SatStatus.UNKNOWN)
                 if stop_at is not None and time.monotonic() > stop_at:
-                    return self._result(SatStatus.UNKNOWN)
+                    return self._finish(SatStatus.UNKNOWN)
                 if restart_budget <= 0:
                     restart_count += 1
                     restart_budget = luby(restart_count + 1) * 64
@@ -445,14 +487,41 @@ class SatSolver:
                 # above); check every 64 decisions to keep this cheap.
                 if stop_at is not None and self.decisions & 0x3F == 0 \
                         and time.monotonic() > stop_at:
-                    return self._result(SatStatus.UNKNOWN)
+                    return self._finish(SatStatus.UNKNOWN)
+                level = self._decision_level()
+                if level < len(assumptions):
+                    # Assert the next assumption as a pseudo-decision.
+                    lit = assumptions[level]
+                    value = self._value(lit)
+                    if value == -1:
+                        # Falsified by the database plus the prior
+                        # assumptions: UNSAT under this assumption set
+                        # only — leave self._unsat clear.
+                        return self._finish(SatStatus.UNSAT)
+                    self._trail_lim.append(len(self._trail))
+                    if value == 0:
+                        self._enqueue(lit, None)
+                    continue
                 var = self._pick_branch_var()
                 if var == 0:
-                    return self._result(SatStatus.SAT)
+                    return self._finish(SatStatus.SAT)
                 self.decisions += 1
                 self._trail_lim.append(len(self._trail))
                 lit = var if self._phase[var] else -var
                 self._enqueue(lit, None)
+
+    def _finish(self, status: SatStatus) -> SatResult:
+        """Build the result, then backtrack to level 0 (trail-safe exit).
+
+        Extracting the model *before* the backjump and always leaving
+        the solver at decision level 0 is what makes back-to-back
+        ``solve`` calls on one instance safe: only root-level facts
+        survive between solves, while phase saving keeps the model
+        polarity hints.
+        """
+        result = self._result(status)
+        self._backjump(0)
+        return result
 
     def _result(self, status: SatStatus) -> SatResult:
         model: dict[int, bool] = {}

@@ -40,6 +40,10 @@ class SmtResult:
     #: Distinct term-DAG nodes in the queried constraint set (the size of
     #: the path condition this query decided; feeds Figure 11's scatter).
     condition_nodes: int = 0
+    #: Clauses in the SAT database when the search for this query ran
+    #: (0 when preprocessing decided the query).  For session-backed
+    #: queries this includes clauses retained from earlier queries.
+    sat_clauses: int = 0
 
     @property
     def is_sat(self) -> bool:
@@ -139,14 +143,17 @@ class SmtSolver:
                                    deadline=deadline)
 
         elapsed = time.perf_counter() - start
+        sat_clauses = blaster.solver.num_clauses
         if sat_result.status is SatStatus.UNKNOWN:
             return SmtResult(SmtStatus.UNKNOWN, {}, False, pre_stats, elapsed,
                              sat_result.conflicts,
-                             condition_nodes=condition_nodes)
+                             condition_nodes=condition_nodes,
+                             sat_clauses=sat_clauses)
         if sat_result.status is SatStatus.UNSAT:
             return SmtResult(SmtStatus.UNSAT, {}, False, pre_stats, elapsed,
                              sat_result.conflicts,
-                             condition_nodes=condition_nodes)
+                             condition_nodes=condition_nodes,
+                             sat_clauses=sat_clauses)
 
         model: dict[Term, int] = {}
         if want_model:
@@ -159,7 +166,8 @@ class SmtSolver:
                 model = completions.complete_model(model)
         return SmtResult(SmtStatus.SAT, model, False, pre_stats, elapsed,
                          sat_result.conflicts,
-                         condition_nodes=condition_nodes)
+                         condition_nodes=condition_nodes,
+                         sat_clauses=sat_clauses)
 
 
 def smt_solve(manager: TermManager, constraints: Iterable[Term],

@@ -50,6 +50,9 @@ class QueryRecord:
     seconds: float
     decided_in_preprocess: bool
     condition_nodes: int = 0
+    #: SAT clause-database size when the query's search ran (0 when
+    #: preprocessing decided it); feeds the bench per-query columns.
+    sat_clauses: int = 0
 
 
 SolveFn = Callable[[BugCandidate], SmtResult]
@@ -253,7 +256,8 @@ def _run_sequential(candidates: list[BugCandidate],
             query_records.append(QueryRecord(
                 smt_result.status, seconds,
                 smt_result.decided_in_preprocess,
-                smt_result.condition_nodes))
+                smt_result.condition_nodes,
+                sat_clauses=smt_result.sat_clauses))
         if telemetry is not None:
             telemetry.record_query(smt_result.status, seconds,
                                    smt_result.decided_in_preprocess,
@@ -305,7 +309,8 @@ def _run_scheduled(candidates: list[BugCandidate],
                 query_records.append(QueryRecord(
                     outcome.status, outcome.seconds,
                     outcome.decided_in_preprocess,
-                    outcome.condition_nodes))
+                    outcome.condition_nodes,
+                    sat_clauses=outcome.sat_clauses))
             if store is not None:
                 store.observe(outcome.index, outcome.status)
             reports[outcome.index] = BugReport(

@@ -106,12 +106,32 @@ class TestOtherCommands:
         out = capsys.readouterr().out
         assert "mcf" in out and "wine" in out
 
-    def test_bench_single_cell(self, capsys):
+    def test_bench_single_cell(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)  # BENCH_incremental.json lands here
         code = main(["bench", "--subject", "mcf", "--engine", "fusion"])
         payload = json.loads(capsys.readouterr().out)
         assert code == 0
         assert payload["subject"] == "mcf"
         assert payload["failure"] is None
+        assert len(payload["query_seconds"]) == payload["queries"]
+        assert len(payload["query_clauses"]) == payload["queries"]
+        record = json.loads((tmp_path / "BENCH_incremental.json")
+                            .read_text())
+        assert record["schema"] == "repro-bench-incremental/1"
+        assert record["incremental_enabled"] is True
+        assert record["row"]["subject"] == "mcf"
+        assert set(record["incremental"]) == {
+            "sessions", "assumption_solves", "reused_clauses",
+            "encoder_hits", "learned_kept"}
+
+    def test_bench_no_json_flag(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        code = main(["bench", "--subject", "mcf", "--engine", "fusion",
+                     "--no-bench-json", "--no-incremental"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["failure"] is None
+        assert not (tmp_path / "BENCH_incremental.json").exists()
 
 
 class TestVerboseScan:
@@ -211,7 +231,7 @@ class TestTriageFlag:
               "--telemetry", str(out)])
         capsys.readouterr()
         payload = json.loads(out.read_text())
-        assert payload["schema"] == "repro-exec-telemetry/4"
+        assert payload["schema"] == "repro-exec-telemetry/5"
         triage = payload["triage"]
         assert triage["decided_infeasible"] + triage["decided_feasible"] \
             + triage["sent_to_smt"] >= 1
