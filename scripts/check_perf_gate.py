@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""CI perf gate: the committed bench baseline must keep holding.
+
+``results/BENCH_incremental.json`` is a committed ``repro bench``
+record for the ``mcf`` subject.  This gate re-runs the same bench cell
+fresh and checks, in order:
+
+* **determinism** — every machine-independent field of the row (bugs,
+  reports, tp/fp, query count and statuses, per-query clause counts)
+  is *equal* to the baseline: a drifted verdict or a changed query
+  schedule is a correctness regression, not noise;
+* **incremental counters** — the fresh run still opens solver sessions
+  and solves under assumptions (the warm machinery cannot silently
+  turn off);
+* **timing** — the incremental run's total solve time stays within a
+  slack factor of a fresh ``--no-incremental`` run of the same cell
+  (both measured on this machine, so the comparison is
+  machine-independent even though the absolute numbers are not).
+
+Exits nonzero with a diagnostic on the first violated property.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import sys
+import tempfile
+from contextlib import redirect_stdout
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                os.pardir, "src"))
+
+from repro.cli import main  # noqa: E402  (path bootstrap above)
+
+BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                        os.pardir, "results", "BENCH_incremental.json")
+
+#: Row fields that must match the baseline exactly: everything the
+#: analysis *decides*, nothing the wall clock touches.
+EXACT_FIELDS = ("subject", "engine", "checker", "bugs", "reports", "tp",
+                "fp", "memory_units", "condition_units", "queries",
+                "unknown", "errors", "replayed", "query_clauses",
+                "failure")
+
+#: Incremental solve time may exceed the one-shot baseline by at most
+#: this factor (above the timer-jitter noise floor).
+SLACK = 1.5
+NOISE_FLOOR_SECONDS = 0.05
+
+
+def fail(message: str) -> None:
+    print(f"check_perf_gate: FAIL: {message}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def run_bench(record_path: str, incremental: bool) -> dict:
+    flag = "--incremental" if incremental else "--no-incremental"
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(["bench", "--subject", "mcf", "--engine", "fusion",
+                     "--bench-json", record_path, flag])
+    if code != 0:
+        fail(f"bench {flag} exited {code}:\n{buffer.getvalue()}")
+    with open(record_path) as handle:
+        return json.load(handle)
+
+
+def run() -> int:
+    try:
+        with open(BASELINE) as handle:
+            baseline = json.load(handle)
+    except OSError as error:
+        fail(f"cannot read committed baseline {BASELINE!r}: {error}")
+    if baseline["schema"] != "repro-bench-incremental/1":
+        fail(f"baseline has unexpected schema {baseline['schema']!r}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        fresh = run_bench(os.path.join(tmp, "fresh.json"),
+                          incremental=True)
+        oneshot = run_bench(os.path.join(tmp, "oneshot.json"),
+                            incremental=False)
+
+    for field in EXACT_FIELDS:
+        want, got = baseline["row"][field], fresh["row"][field]
+        if want != got:
+            fail(f"row field {field!r} drifted from the committed "
+                 f"baseline: expected {want!r}, got {got!r} "
+                 f"(regenerate results/BENCH_incremental.json only if "
+                 f"the change is intended and explained)")
+
+    counters = fresh["incremental"]
+    for key in ("sessions", "assumption_solves", "encoder_hits"):
+        if counters[key] != baseline["incremental"][key]:
+            fail(f"incremental counter {key!r} drifted: expected "
+                 f"{baseline['incremental'][key]}, got {counters[key]}")
+    if counters["sessions"] <= 0 or counters["assumption_solves"] <= 0:
+        fail(f"incremental machinery is off: {counters}")
+
+    inc_solve = fresh["row"]["solve_seconds_total"]
+    base_solve = oneshot["row"]["solve_seconds_total"]
+    if base_solve > NOISE_FLOOR_SECONDS and inc_solve > base_solve * SLACK:
+        fail(f"incremental solving regressed past {SLACK}x of one-shot: "
+             f"{inc_solve:.3f}s vs {base_solve:.3f}s")
+
+    print(f"check_perf_gate: OK — row matches baseline "
+          f"({fresh['row']['queries']} queries, "
+          f"{fresh['row']['bugs']} bugs), "
+          f"{counters['sessions']} session(s), "
+          f"{counters['assumption_solves']} assumption solve(s), "
+          f"solve {base_solve:.3f}s one-shot vs {inc_solve:.3f}s "
+          f"incremental")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

@@ -142,7 +142,12 @@ class PinpointEngine:
         a ``TriageConfig`` or a prebuilt ``CandidateTriage``).  ``store``
         (an :class:`~repro.exec.store.ArtifactStore`) opts into warm
         incremental re-analysis.  With no argument the seed sequential
-        path runs untouched."""
+        path runs untouched.
+
+        Reusable hot engine: per-run state (query records, telemetry
+        deltas) is rebuilt on every call, mirroring FusionEngine."""
+        self.query_records = []
+        sessions_before = self.session_stats.as_tuple()
         cache = None
         if exec_config is not None and exec_config.effective_jobs <= 1:
             cache = SliceCache(exec_config.slice_cache_capacity)
@@ -169,8 +174,11 @@ class PinpointEngine:
                 else ExecConfig()
             spec = None
             # Fault plans need the worker path even at jobs=1 (the
-            # injection hooks live in the scheduler's _WorkerState).
-            if config.effective_jobs > 1 or config.fault_plan is not None:
+            # injection hooks live in the scheduler's _WorkerState), and
+            # so do per-request query timeouts (FaultPolicy overrides
+            # the engine solver's limit only in the worker state).
+            if config.effective_jobs > 1 or config.fault_plan is not None \
+                    or config.faults.query_timeout is not None:
                 spec = WorkerSpec(self.pdg, checker, self.config.sparse,
                                   pinpoint_query_factory,
                                   replace(self.config, budget=None),
@@ -196,12 +204,15 @@ class PinpointEngine:
                                    capacity=stats.capacity)
         if telemetry is not None and incremental:
             # Sequential-path sessions live on this engine; worker-side
-            # sessions are recorded by the scheduler.
+            # sessions are recorded by the scheduler.  Delta only — a
+            # hot engine's cumulative totals must not be re-counted.
+            delta = tuple(
+                now - before for now, before in
+                zip(self.session_stats.as_tuple(), sessions_before))
             telemetry.record_incremental(
                 **dict(zip(("sessions", "assumption_solves",
                             "reused_clauses", "encoder_hits",
-                            "learned_kept"),
-                           self.session_stats.as_tuple())))
+                            "learned_kept"), delta)))
         return result
 
     def _store_fingerprint(self, triage) -> dict:

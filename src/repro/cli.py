@@ -19,24 +19,11 @@ import json
 import sys
 from typing import Optional, Sequence
 
-from repro.baselines import InferEngine
-from repro.baselines.pinpoint import make_pinpoint
-from repro.checkers import DivByZeroChecker, NullDereferenceChecker
-from repro.checkers.taint import cwe23_checker, cwe402_checker
-from repro.fusion import (FusionConfig, FusionEngine, GraphSolverConfig,
-                          prepare_pdg)
+from repro.engine import (CHECKER_FACTORIES, ENGINE_CHOICES,
+                          analysis_payload, build_engine)
+from repro.fusion import prepare_pdg
 from repro.lang import LoweringConfig, compile_source
 from repro.pdg import pdg_to_dot
-
-CHECKER_FACTORIES = {
-    "null-deref": NullDereferenceChecker,
-    "cwe-23": cwe23_checker,
-    "cwe-402": cwe402_checker,
-    "div-zero": DivByZeroChecker,
-}
-
-ENGINE_CHOICES = ("fusion", "fusion-unopt", "pinpoint", "pinpoint+lfs",
-                  "pinpoint+hfs", "pinpoint+qe", "pinpoint+ar", "infer")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -98,6 +85,43 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--json", action="store_true", dest="as_json",
                          help="machine-readable findings on stdout")
     _add_exec_arguments(analyze)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the hot analysis daemon: engine state (artifact store, "
+             "slice cache, solver sessions) stays warm across requests "
+             "(see docs/serving.md)")
+    serve.add_argument("--stdio", action="store_true",
+                       help="speak line-delimited JSON-RPC on "
+                            "stdin/stdout instead of HTTP")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8171)
+    serve.add_argument("--engine", default="fusion",
+                       choices=ENGINE_CHOICES)
+    serve.add_argument("--workers", type=int, default=4,
+                       help="analysis executor threads (default 4)")
+    serve.add_argument("--max-queue", type=int, default=32,
+                       help="admission-control bound on queued+running "
+                            "requests; excess requests are rejected with "
+                            "a 429-style error (default 32)")
+    serve.add_argument("--jobs", type=int, default=1,
+                       help="per-request worker pool size (default 1)")
+    serve.add_argument("--backend", default="auto",
+                       help="per-request pool flavor (default auto)")
+    serve.add_argument("--cache-root", metavar="DIR", default=None,
+                       help="root directory for per-tenant artifact "
+                            "stores (default: a private temp dir)")
+    serve.add_argument("--default-deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-request deadline when the request "
+                            "carries none (overruns report UNKNOWN)")
+    serve.add_argument("--no-incremental", action="store_true",
+                       help="disable persistent solver sessions")
+    serve.add_argument("--triage", action="store_true",
+                       help="run the absint triage pre-pass per request")
+    serve.add_argument("--fault-plan", metavar="SPEC", default=None,
+                       help="inject deterministic faults into every "
+                            "request (testing/CI only)")
 
     lint = sub.add_parser(
         "lint",
@@ -173,24 +197,9 @@ def _add_exec_arguments(parser: argparse.ArgumentParser) -> None:
 def _make_engine(name: str, pdg, want_model: bool,
                  query_timeout: Optional[float] = None,
                  incremental: bool = False):
-    from repro.smt.solver import SolverConfig
-
-    smt = SolverConfig(time_limit=query_timeout) \
-        if query_timeout is not None else SolverConfig()
-    if name == "fusion":
-        return FusionEngine(pdg, FusionConfig(
-            solver=GraphSolverConfig(want_model=want_model, solver=smt,
-                                     incremental=incremental)))
-    if name == "fusion-unopt":
-        return FusionEngine(pdg, FusionConfig(
-            solver=GraphSolverConfig(optimized=False,
-                                     want_model=want_model, solver=smt,
-                                     incremental=incremental)))
-    if name == "infer":
-        return InferEngine(pdg)
-    variant = name.partition("+")[2]
-    return make_pinpoint(pdg, variant, solver=smt,
-                         incremental=incremental)
+    return build_engine(name, pdg, want_model=want_model,
+                        query_timeout=query_timeout,
+                        incremental=incremental)
 
 
 def cmd_scan(args: argparse.Namespace) -> int:
@@ -413,24 +422,9 @@ def cmd_analyze(args: argparse.Namespace) -> int:
                             telemetry=telemetry, **kwargs)
 
     if args.as_json:
-        payload = {
-            "engine": args.engine,
-            "checker": args.checker,
-            "subject": args.subject,
-            "jobs": args.jobs,
-            "summary": result.summary(),
-            "findings": [
-                {
-                    "feasible": report.feasible,
-                    "source_function": report.source.function,
-                    "source": repr(report.source.stmt),
-                    "sink_function": report.sink.function,
-                    "sink": repr(report.sink.stmt),
-                    "witness": report.witness,
-                }
-                for report in result.reports
-            ],
-        }
+        payload = analysis_payload(result, engine=args.engine,
+                                   checker=args.checker,
+                                   subject=args.subject, jobs=args.jobs)
         print(json.dumps(payload, indent=2))
     else:
         print(result.summary())
@@ -447,6 +441,41 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     if not _write_telemetry(args, telemetry):
         return 2
     return 0 if result.failure is None else 2
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.engine import EngineSettings
+    from repro.exec import FaultPlan
+    from repro.serve import ServeConfig, run_http, run_stdio
+
+    fault_plan = None
+    if args.fault_plan:
+        try:
+            fault_plan = FaultPlan.parse(args.fault_plan)
+        except ValueError as error:
+            raise SystemExit(f"repro serve: bad --fault-plan: {error}")
+    config = ServeConfig(
+        settings=EngineSettings(engine=args.engine,
+                                incremental=not args.no_incremental,
+                                triage=args.triage),
+        workers=args.workers, max_queue=args.max_queue,
+        jobs=args.jobs, backend=args.backend,
+        cache_root=args.cache_root,
+        default_deadline=args.default_deadline,
+        fault_plan=fault_plan)
+    try:
+        if args.stdio:
+            asyncio.run(run_stdio(config))
+        else:
+            print(f"repro serve: listening on "
+                  f"http://{args.host}:{args.port} "
+                  f"(POST /rpc, GET /telemetry)", file=sys.stderr)
+            asyncio.run(run_http(config, args.host, args.port))
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -486,7 +515,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"scan": cmd_scan, "subjects": cmd_subjects,
                 "bench": cmd_bench, "analyze": cmd_analyze,
-                "lint": cmd_lint}
+                "serve": cmd_serve, "lint": cmd_lint}
     return handlers[args.command](args)
 
 

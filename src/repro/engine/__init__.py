@@ -1,0 +1,23 @@
+"""Reusable analysis-engine core shared by every driver.
+
+The CLI (``repro scan``/``analyze``/``bench``), the benchmark runner and
+the ``repro serve`` daemon all need the same things: a table of checkers,
+a factory that turns an engine name into a configured engine object, and
+a canonical JSON rendering of an :class:`~repro.checkers.base
+.AnalysisResult`.  Historically each driver carried its own copy; this
+package is the single home, and :class:`AnalysisSession` wraps the whole
+bundle into a *hot* per-program state (PDG, engine with live solver
+sessions, artifact store) that a long-lived server can keep across
+requests (see ``docs/serving.md``).
+"""
+
+from repro.engine.core import (CHECKER_FACTORIES, ENGINE_CHOICES,
+                               AnalysisSession, EngineSettings,
+                               analysis_payload, build_engine,
+                               findings_payload)
+
+__all__ = [
+    "CHECKER_FACTORIES", "ENGINE_CHOICES",
+    "AnalysisSession", "EngineSettings",
+    "analysis_payload", "build_engine", "findings_payload",
+]

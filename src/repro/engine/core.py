@@ -1,0 +1,209 @@
+"""The engine/driver split: one core consumed by CLI, bench and serve.
+
+Three layers live here:
+
+* **Tables and factories** — :data:`CHECKER_FACTORIES`,
+  :data:`ENGINE_CHOICES` and :func:`build_engine`, the one place an
+  engine name becomes a configured engine object.  ``repro.cli`` and
+  ``repro.bench.runner`` used to carry diverging private copies.
+* **Canonical rendering** — :func:`findings_payload` /
+  :func:`analysis_payload`, the machine-readable report shape.  The CLI
+  (``repro analyze --json``) and the daemon both emit it, which is what
+  makes "daemon responses are byte-identical to one-shot ``repro
+  analyze``" a testable property (``tests/test_serve_differential.py``).
+* **Hot state** — :class:`AnalysisSession`, one program's resident
+  analysis state: source text, PDG, a single engine object whose
+  per-group solver sessions stay alive across ``analyze()`` calls, and
+  an optional persistent :class:`~repro.exec.store.ArtifactStore` so a
+  re-analysis of an unchanged program replays every verdict instead of
+  re-solving (``docs/caching.md``).  ``update_source`` swaps in a new
+  program (fresh PDG, fresh engine — term-manager state never leaks
+  across program versions) while the store carries over, so the next
+  ``analyze`` re-decides only verdicts the edit invalidated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.checkers import DivByZeroChecker, NullDereferenceChecker
+from repro.checkers.base import AnalysisResult
+from repro.checkers.taint import cwe23_checker, cwe402_checker
+from repro.lang import LoweringConfig, compile_source
+from repro.limits import Budget
+
+CHECKER_FACTORIES = {
+    "null-deref": NullDereferenceChecker,
+    "cwe-23": cwe23_checker,
+    "cwe-402": cwe402_checker,
+    "div-zero": DivByZeroChecker,
+}
+
+ENGINE_CHOICES = ("fusion", "fusion-unopt", "pinpoint", "pinpoint+lfs",
+                  "pinpoint+hfs", "pinpoint+qe", "pinpoint+ar", "infer")
+
+
+def build_engine(name: str, pdg, *, want_model: bool = False,
+                 query_timeout: Optional[float] = None,
+                 incremental: bool = False,
+                 budget: Optional[Budget] = None):
+    """One configured engine object from an engine name.
+
+    ``query_timeout`` overrides the solver's default 10 s per-query cap
+    (the deadline it induces covers slicing through the SAT search, see
+    docs/robustness.md); ``incremental`` routes grouped queries through
+    persistent assumption-based solver sessions (docs/solver.md; the
+    infer baseline has no SMT stage and ignores it); ``budget`` bounds
+    the whole run (bench's Memory-Out/timeout protocol).
+    """
+    from repro.baselines.infer import InferConfig, InferEngine
+    from repro.baselines.pinpoint import make_pinpoint
+    from repro.fusion import (FusionConfig, FusionEngine,
+                              GraphSolverConfig)
+    from repro.smt.solver import SolverConfig
+
+    smt = SolverConfig(time_limit=query_timeout) \
+        if query_timeout is not None else SolverConfig()
+    if name in ("fusion", "fusion-unopt"):
+        return FusionEngine(pdg, FusionConfig(
+            solver=GraphSolverConfig(optimized=(name == "fusion"),
+                                     want_model=want_model, solver=smt,
+                                     incremental=incremental),
+            budget=budget))
+    if name == "infer":
+        return InferEngine(pdg, InferConfig(budget=budget))
+    if name.startswith("pinpoint"):
+        variant = name.partition("+")[2].lower()
+        return make_pinpoint(pdg, variant, budget=budget, solver=smt,
+                             incremental=incremental)
+    raise ValueError(f"unknown engine {name!r}")
+
+
+def findings_payload(result: AnalysisResult) -> list[dict]:
+    """The canonical machine-readable findings list, in report order.
+
+    Key order and value rendering are part of the serve differential
+    contract: ``json.dumps`` of this list must be byte-identical whether
+    the run happened in a one-shot CLI process or a warm daemon.
+    """
+    return [
+        {
+            "feasible": report.feasible,
+            "source_function": report.source.function,
+            "source": repr(report.source.stmt),
+            "sink_function": report.sink.function,
+            "sink": repr(report.sink.stmt),
+            "witness": report.witness,
+        }
+        for report in result.reports
+    ]
+
+
+def analysis_payload(result: AnalysisResult, *, engine: str, checker: str,
+                     subject: str, jobs: int = 1) -> dict:
+    """The full ``repro analyze --json`` document."""
+    return {
+        "engine": engine,
+        "checker": checker,
+        "subject": subject,
+        "jobs": jobs,
+        "summary": result.summary(),
+        "findings": findings_payload(result),
+    }
+
+
+@dataclass(frozen=True)
+class EngineSettings:
+    """Everything that configures one :class:`AnalysisSession`.
+
+    Frozen: a session's verdicts must stay a pure function of (program,
+    settings), so settings can never drift mid-session.  The defaults
+    mirror ``repro analyze`` exactly — the serve differential suite
+    depends on that.
+    """
+
+    engine: str = "fusion"
+    want_model: bool = True
+    incremental: bool = True
+    triage: bool = False
+    query_timeout: Optional[float] = None
+    loop_unroll: int = 2
+    width: int = 8
+
+    def lowering(self) -> LoweringConfig:
+        return LoweringConfig(loop_unroll=self.loop_unroll,
+                              width=self.width)
+
+
+class AnalysisSession:
+    """One program's hot analysis state (see module docstring).
+
+    ``store`` (an :class:`~repro.exec.store.ArtifactStore` or None) is
+    the cross-request/cross-edit warm path; the engine object itself is
+    the intra-program warm path (live per-group solver sessions, slice
+    and template caches).
+    """
+
+    def __init__(self, source: Optional[str] = None, *,
+                 settings: Optional[EngineSettings] = None,
+                 store=None) -> None:
+        self.settings = settings if settings is not None \
+            else EngineSettings()
+        self.store = store
+        self.source: Optional[str] = None
+        self.pdg = None
+        self.engine = None
+        #: Bumped on every successful ``update_source``; lets a driver
+        #: tag responses with the program version they analysed.
+        self.generation = 0
+        if source is not None:
+            self.update_source(source)
+
+    def update_source(self, source: str) -> None:
+        """Swap in a new program version.
+
+        Compilation errors propagate *before* any state is touched, so a
+        bad edit never bricks the session — the previous program stays
+        analysable.
+        """
+        from repro.fusion import prepare_pdg
+
+        program = compile_source(source, self.settings.lowering())
+        pdg = prepare_pdg(program)
+        engine = build_engine(self.settings.engine, pdg,
+                              want_model=self.settings.want_model,
+                              query_timeout=self.settings.query_timeout,
+                              incremental=self.settings.incremental)
+        self.source, self.pdg, self.engine = source, pdg, engine
+        self.generation += 1
+
+    def analyze(self, checker: str, *, exec_config=None,
+                telemetry=None) -> AnalysisResult:
+        """Run one checker against the current program version.
+
+        Counters on the result (and the engine's ``query_records``) are
+        per-request: engine reuse across calls never leaks a previous
+        request's numbers (regression-tested in tests/test_serve.py).
+        """
+        if self.engine is None:
+            raise RuntimeError("AnalysisSession has no program; call "
+                               "update_source first")
+        factory = CHECKER_FACTORIES.get(checker)
+        if factory is None:
+            raise ValueError(f"unknown checker {checker!r}")
+        kwargs = {}
+        # The infer baseline has no per-candidate SMT stage: nothing to
+        # triage, no verdicts to cache (same gating as the CLI).
+        if self.settings.engine != "infer":
+            if self.settings.triage:
+                kwargs["triage"] = True
+            if self.store is not None:
+                kwargs["store"] = self.store
+        return self.engine.analyze(factory(), exec_config=exec_config,
+                                   telemetry=telemetry, **kwargs)
+
+    def function_names(self) -> list[str]:
+        if self.pdg is None:
+            return []
+        return sorted(self.pdg.program.functions)

@@ -32,7 +32,16 @@ from repro.smt.solver import SmtStatus
 #: /5 added the "incremental" section (assumption-based solver sessions:
 #: sessions opened, assumption solves, clauses/encodings reused, learned
 #: clauses retained across queries).
-SCHEMA = "repro-exec-telemetry/5"
+#: /6 added the "serve" section (repro serve daemon counters: requests
+#: served/rejected, live tenant sessions, replayed verdicts, admission
+#: queue depth/peak, p50/p95 request latency) and Telemetry.merge (the
+#: daemon folds per-request instances into its server-lifetime one).
+SCHEMA = "repro-exec-telemetry/6"
+
+#: Request-latency samples kept for the percentile estimates; the serve
+#: soak keeps a daemon alive indefinitely, so the window is bounded
+#: (newest samples win).
+LATENCY_WINDOW = 4096
 
 
 class Telemetry:
@@ -71,6 +80,16 @@ class Telemetry:
             "encoder_hits": 0,       # term ids served from the CNF cache
             "learned_kept": 0,       # learned clauses kept across solves
         }
+        self.serve: dict[str, float] = {
+            "requests": 0,           # requests answered (success or error)
+            "errors": 0,             # requests answered with an error
+            "rejected": 0,           # requests refused by admission (429)
+            "sessions_alive": 0,     # tenant sessions currently resident
+            "replayed_verdicts": 0,  # verdicts served from the warm store
+            "queue_depth": 0,        # admitted requests in flight right now
+            "queue_peak": 0,         # high-water mark of queue_depth
+        }
+        self._latencies: list[float] = []
         self.faults: dict[str, int] = {
             "query_errors": 0,        # isolated per-query exceptions
             "query_timeouts": 0,      # per-query deadline overruns
@@ -170,6 +189,70 @@ class Telemetry:
         with self._lock:
             self.faults[kind] = self.faults.get(kind, 0) + amount
 
+    def serve_add(self, **counts: int) -> None:
+        """Accumulate serve-daemon counters (see the ``serve`` keys)."""
+        with self._lock:
+            for key, amount in counts.items():
+                self.serve[key] = self.serve.get(key, 0) + amount
+
+    def serve_gauge(self, **values: int) -> None:
+        """Set serve-daemon gauges (current values, not accumulations);
+        ``queue_peak`` folds in as a high-water mark."""
+        with self._lock:
+            for key, value in values.items():
+                if key == "queue_peak":
+                    self.serve[key] = max(self.serve.get(key, 0), value)
+                else:
+                    self.serve[key] = value
+
+    def record_latency(self, seconds: float) -> None:
+        """One served request's wall-clock latency sample."""
+        with self._lock:
+            self._latencies.append(seconds)
+            if len(self._latencies) > LATENCY_WINDOW:
+                del self._latencies[:-LATENCY_WINDOW]
+
+    def merge(self, other: "Telemetry") -> None:
+        """Fold another instance's run counters into this one.
+
+        The serve daemon gives every request a private Telemetry (so a
+        request's counters are exactly that request's work) and merges
+        it into the server-lifetime instance afterwards.  Context is
+        *not* merged — it names one run, not an aggregate; serve gauges
+        and latency samples are daemon-owned and never merged either.
+        """
+        snapshot = other.as_dict()
+        with self._lock:
+            for name, entry in snapshot["stages"].items():
+                mine = self.stages.setdefault(name,
+                                              {"seconds": 0.0, "count": 0})
+                mine["seconds"] += entry["seconds"]
+                mine["count"] += entry["count"]
+            for name, amount in snapshot["counters"].items():
+                self.counters[name] = self.counters.get(name, 0) + amount
+            for key, value in snapshot["solver"].items():
+                if key == "max_condition_nodes":
+                    self.queries[key] = max(self.queries[key], value)
+                else:
+                    self.queries[key] += value
+            for name, entry in snapshot["caches"].items():
+                mine = self.caches.setdefault(
+                    name, {"hits": 0, "misses": 0, "evictions": 0})
+                for key, value in entry.items():
+                    if key == "capacity":
+                        mine[key] = value
+                    else:
+                        mine[key] = mine.get(key, 0) + value
+            for key, value in snapshot["memory"].items():
+                self.memory[key] = max(self.memory[key], value)
+            for section, mine in (("triage", self.triage),
+                                  ("store", self.store),
+                                  ("incremental", self.incremental),
+                                  ("faults", self.faults)):
+                for key, value in snapshot[section].items():
+                    mine[key] = mine.get(key, 0) + value
+            self.wall_seconds += snapshot["wall_seconds"]
+
     def record_memory(self, units: int, condition_units: int = 0) -> None:
         """Fold one modeled-memory snapshot into the peaks."""
         with self._lock:
@@ -186,8 +269,22 @@ class Telemetry:
     # Export
     # ------------------------------------------------------------------ #
 
+    @staticmethod
+    def _percentile(samples: list[float], fraction: float) -> float:
+        """Nearest-rank percentile of the latency window (0.0 when no
+        request has completed yet)."""
+        if not samples:
+            return 0.0
+        ordered = sorted(samples)
+        rank = min(len(ordered) - 1,
+                   max(0, int(fraction * len(ordered) + 0.5) - 1))
+        return ordered[rank]
+
     def as_dict(self) -> dict:
         with self._lock:
+            serve = dict(self.serve)
+            serve["p50_latency_s"] = self._percentile(self._latencies, 0.50)
+            serve["p95_latency_s"] = self._percentile(self._latencies, 0.95)
             return {
                 "schema": SCHEMA,
                 "context": dict(self.context),
@@ -202,6 +299,7 @@ class Telemetry:
                 "triage": dict(self.triage),
                 "store": dict(self.store),
                 "incremental": dict(self.incremental),
+                "serve": serve,
                 "faults": dict(self.faults),
             }
 

@@ -125,7 +125,15 @@ class FusionEngine:
         runs untouched.  ``store`` (an
         :class:`~repro.exec.store.ArtifactStore`) opts into warm
         incremental re-analysis: cached verdicts whose dependencies are
-        unchanged are replayed instead of re-solved."""
+        unchanged are replayed instead of re-solved.
+
+        The engine object may be reused across calls (the serve daemon
+        keeps it hot so per-group solver sessions survive between
+        requests); all per-run state — query records, telemetry deltas,
+        the result's counters — is rebuilt here, so one request never
+        observes a previous request's numbers."""
+        self.query_records = []
+        sessions_before = self.solver.session_stats.as_tuple()
         cache = self._slice_cache(exec_config)
         incremental = self.config.solver.incremental
 
@@ -162,12 +170,16 @@ class FusionEngine:
                                    capacity=stats.capacity)
         if telemetry is not None and incremental:
             # Sequential-path sessions live on this engine's own solver;
-            # worker-side sessions are recorded by the scheduler.
+            # worker-side sessions are recorded by the scheduler.  Only
+            # this run's delta is recorded: a hot engine's cumulative
+            # totals must not be re-counted by every later request.
+            delta = tuple(
+                now - before for now, before in
+                zip(self.solver.session_stats.as_tuple(), sessions_before))
             telemetry.record_incremental(
                 **dict(zip(("sessions", "assumption_solves",
                             "reused_clauses", "encoder_hits",
-                            "learned_kept"),
-                           self.solver.session_stats.as_tuple())))
+                            "learned_kept"), delta)))
         return result
 
     def _store_fingerprint(self, triage) -> dict:
@@ -220,8 +232,12 @@ class FusionEngine:
         # A fault plan needs the worker path even at jobs=1: injection
         # hooks live in the scheduler's _WorkerState, and the inline
         # ladder rung gives single-job runs the same retry/synthesize
-        # machinery.
-        if config.effective_jobs > 1 or config.fault_plan is not None:
+        # machinery.  A per-request query timeout (FaultPolicy) takes
+        # the same route — the worker state is where it overrides the
+        # engine solver's own limit (the serve daemon's per-request
+        # deadlines rely on this at jobs=1).
+        if config.effective_jobs > 1 or config.fault_plan is not None \
+                or config.faults.query_timeout is not None:
             # Workers cannot observe the whole run's clock; the
             # completion loop enforces the budget at batch granularity.
             spec = WorkerSpec(self.pdg, checker, self.config.sparse,

@@ -1,0 +1,72 @@
+"""Admission control: a bounded queue with explicit backpressure.
+
+The daemon never buffers unbounded work.  A request is *admitted* when
+the number of admitted-but-unfinished requests is below ``max_depth``;
+otherwise it is rejected immediately with an :data:`~repro.serve
+.protocol.OVERLOADED` (429) error carrying the current depth, and the
+client is expected to retry.  Rejection is cheap (no analysis state is
+touched), which is the point: under overload the daemon sheds load at
+the front door instead of stacking latency.
+
+Thread-safe: admission decisions happen on the event loop, but the
+telemetry endpoint snapshots the gauges from wherever it runs.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serve.protocol import OVERLOADED, ServeError
+
+
+class AdmissionQueue:
+    """Counting gate over admitted-but-unfinished requests."""
+
+    def __init__(self, max_depth: int) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = max_depth
+        self._lock = threading.Lock()
+        self._depth = 0
+        self._peak = 0
+        self._rejected = 0
+        self._admitted = 0
+
+    def enter(self) -> None:
+        """Admit one request or raise the structured 429."""
+        with self._lock:
+            if self._depth >= self.max_depth:
+                self._rejected += 1
+                raise ServeError(
+                    OVERLOADED,
+                    "admission queue full; retry later",
+                    data={"depth": self._depth,
+                          "max_depth": self.max_depth})
+            self._depth += 1
+            self._admitted += 1
+            self._peak = max(self._peak, self._depth)
+
+    def leave(self) -> None:
+        with self._lock:
+            assert self._depth > 0, "leave() without a matching enter()"
+            self._depth -= 1
+
+    @property
+    def depth(self) -> int:
+        with self._lock:
+            return self._depth
+
+    @property
+    def peak(self) -> int:
+        with self._lock:
+            return self._peak
+
+    @property
+    def rejected(self) -> int:
+        with self._lock:
+            return self._rejected
+
+    @property
+    def admitted(self) -> int:
+        with self._lock:
+            return self._admitted

@@ -1,0 +1,131 @@
+"""Per-tenant session state and cache namespacing.
+
+Each tenant owns one :class:`~repro.engine.AnalysisSession` (hot PDG,
+engine with live solver sessions) plus a *namespaced* artifact store:
+tenant ``t``'s store lives under ``<cache_root>/tenants/<digest(t)>``
+and is labelled with the tenant name.  Nothing any tenant pushes can
+reach another tenant's store directory — isolation holds at the
+filesystem layer, not just at key-derivation (the soak suite asserts no
+cross-tenant bleed under concurrent interleaved edits).
+
+Mutations to one tenant are serialized by a per-tenant asyncio lock
+(held across the executor hop), while different tenants' requests run
+concurrently on the daemon's worker threads.
+
+LSP-style incremental edits are supported by :func:`splice_function`:
+the client pushes one changed function definition and the daemon
+rewrites only that span of the held source.  The artifact store's
+content-addressed keys then confine re-solving to the verdicts the edit
+actually invalidated.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import os
+import re
+from typing import Optional
+
+from repro.engine import AnalysisSession, EngineSettings
+from repro.exec import ArtifactStore
+from repro.serve.protocol import (COMPILE_ERROR, INVALID_PARAMS,
+                                  UNKNOWN_TENANT, ServeError)
+
+
+def splice_function(source: str, name: str, text: str) -> str:
+    """Replace the definition of ``name`` in ``source`` with ``text``.
+
+    ``text`` must be a complete ``fun name(...) { ... }`` definition.
+    An unknown name *appends* the definition (how a client adds a new
+    function); a name mismatch between ``name`` and ``text`` is an
+    error, so a typo cannot silently orphan the old definition.
+    """
+    header = re.search(r"\bfun\s+(\w+)\s*\(", text)
+    if header is None or header.group(1) != name:
+        raise ServeError(INVALID_PARAMS,
+                         f"edit text must define function {name!r}")
+    match = re.search(rf"\bfun\s+{re.escape(name)}\s*\(", source)
+    if match is None:
+        sep = "" if source.endswith("\n") else "\n"
+        return f"{source}{sep}{text.strip()}\n"
+    open_brace = source.find("{", match.end())
+    if open_brace < 0:
+        raise ServeError(COMPILE_ERROR,
+                         f"held source is malformed at function {name!r}")
+    depth = 0
+    for position in range(open_brace, len(source)):
+        char = source[position]
+        if char == "{":
+            depth += 1
+        elif char == "}":
+            depth -= 1
+            if depth == 0:
+                return (source[:match.start()] + text.strip()
+                        + source[position + 1:])
+    raise ServeError(COMPILE_ERROR,
+                     f"unbalanced braces in function {name!r}")
+
+
+class TenantSession:
+    """One tenant's resident analysis state."""
+
+    def __init__(self, name: str, session: AnalysisSession,
+                 store_root: Optional[str]) -> None:
+        self.name = name
+        self.session = session
+        self.store_root = store_root
+        #: Serializes mutations (initialize/update/analyze) per tenant;
+        #: created lazily so the registry can be built outside a loop.
+        self.lock = asyncio.Lock()
+
+
+class TenantRegistry:
+    """All resident tenants, plus the store-namespace layout."""
+
+    def __init__(self, cache_root: Optional[str],
+                 settings: EngineSettings) -> None:
+        self.cache_root = cache_root
+        self.settings = settings
+        self._tenants: dict[str, TenantSession] = {}
+
+    def _store_for(self, tenant: str) -> tuple[Optional[ArtifactStore],
+                                               Optional[str]]:
+        if self.cache_root is None or self.settings.engine == "infer":
+            return None, None
+        digest = hashlib.sha256(tenant.encode()).hexdigest()[:24]
+        root = os.path.join(self.cache_root, "tenants", digest)
+        return ArtifactStore(root, label=tenant), root
+
+    def create(self, tenant: str, source: str) -> TenantSession:
+        """Create (or re-initialize) a tenant from full source text.
+
+        Compilation failures leave any existing session untouched."""
+        existing = self._tenants.get(tenant)
+        if existing is not None:
+            existing.session.update_source(source)
+            return existing
+        store, root = self._store_for(tenant)
+        session = AnalysisSession(source, settings=self.settings,
+                                  store=store)
+        entry = TenantSession(tenant, session, root)
+        self._tenants[tenant] = entry
+        return entry
+
+    def get(self, tenant: str) -> TenantSession:
+        entry = self._tenants.get(tenant)
+        if entry is None:
+            raise ServeError(UNKNOWN_TENANT,
+                             f"unknown tenant {tenant!r}; initialize it "
+                             f"first")
+        return entry
+
+    def drop(self, tenant: str) -> bool:
+        return self._tenants.pop(tenant, None) is not None
+
+    @property
+    def alive(self) -> int:
+        return len(self._tenants)
+
+    def names(self) -> list[str]:
+        return sorted(self._tenants)

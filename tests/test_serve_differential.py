@@ -1,0 +1,147 @@
+"""Differential suite: daemon responses == one-shot ``repro analyze``.
+
+For a 25-seed corpus of generated programs, the daemon must be
+*invisible* as an execution vehicle:
+
+* a cold daemon request returns findings byte-identical to a one-shot
+  ``repro analyze --json`` run on the same source;
+* after an LSP-style edit, the warm daemon (hot engine discarded and
+  rebuilt, unchanged verdicts replayed from the tenant's store) returns
+  findings byte-identical to a from-scratch CLI run on the mutated
+  source;
+* re-analysing an unchanged program dispatches **zero** SMT queries —
+  every verdict is replayed — and still returns the identical bytes.
+
+Byte-identical means ``json.dumps`` equality of the findings list: same
+reports, same order, same witnesses, same key order.
+"""
+
+import asyncio
+import contextlib
+import io
+import json
+import re
+import tempfile
+
+import pytest
+
+from repro.bench import SubjectSpec, generate_subject
+from repro.cli import main
+from repro.serve import ServeApp, ServeConfig
+
+SEEDS = list(range(25))
+
+
+def fuzz_source(seed: int) -> str:
+    spec = SubjectSpec("serve-diff", seed=seed, num_functions=5,
+                       layers=2, avg_stmts=5, call_fanout=2,
+                       null_bugs=(1, 1, 1))
+    return generate_subject(spec).source
+
+
+def body_edit(source: str) -> str:
+    """Insert an unused statement at the top of the first function —
+    content changes, interface does not (same mutator as the store
+    differential suite)."""
+    match = re.search(r"fun (\w+)\([^)]*\) \{\n", source)
+    assert match is not None
+    return (source[:match.end()] + "  zq_edit = 7;\n"
+            + source[match.end():])
+
+
+def cli_findings(tmp_path, source: str) -> str:
+    """One-shot ``repro analyze --json`` findings, as canonical bytes."""
+    path = tmp_path / "prog.fl"
+    path.write_text(source)
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        main(["analyze", "--subject", str(path), "--checker",
+              "null-deref", "--json"])
+    payload = json.loads(buffer.getvalue())
+    return json.dumps(payload["findings"])
+
+
+def daemon_bytes(response: dict) -> str:
+    assert "result" in response, response.get("error")
+    return json.dumps(response["result"]["findings"])
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_daemon_matches_one_shot_cli(seed, tmp_path):
+    source = fuzz_source(seed)
+    mutated = body_edit(source)
+    cold_expected = cli_findings(tmp_path, source)
+    warm_expected = cli_findings(tmp_path, mutated)
+
+    async def run_daemon():
+        with tempfile.TemporaryDirectory() as root:
+            app = ServeApp(ServeConfig(cache_root=root))
+            try:
+                def rpc(method, **params):
+                    return app.handle({"jsonrpc": "2.0", "id": 1,
+                                       "method": method,
+                                       "params": params})
+                init = await rpc("initialize", tenant="diff",
+                                 source=source)
+                assert "result" in init, init.get("error")
+
+                cold = await rpc("analyze", tenant="diff")
+                assert daemon_bytes(cold) == cold_expected
+                cold_counters = cold["result"]["counters"]
+                assert cold_counters["replayed_verdicts"] == 0
+
+                # Unchanged program, warm store: zero SMT queries, every
+                # verdict replayed, identical bytes.
+                warm_same = await rpc("analyze", tenant="diff")
+                counters = warm_same["result"]["counters"]
+                assert counters["smt_queries"] == 0
+                assert counters["replayed_verdicts"] == \
+                    counters["candidates"]
+                assert daemon_bytes(warm_same) == cold_expected
+
+                # After the edit the warm daemon must agree with a
+                # from-scratch run on the mutated program.
+                update = await rpc("update", tenant="diff",
+                                   source=mutated)
+                assert update["result"]["generation"] == 2
+                warm = await rpc("analyze", tenant="diff")
+                assert daemon_bytes(warm) == warm_expected
+                # A body edit that keeps the interface re-decides at
+                # most the edited function's verdicts.
+                warm_counters = warm["result"]["counters"]
+                assert warm_counters["smt_queries"] <= \
+                    warm_counters["candidates"]
+            finally:
+                app.close()
+
+    asyncio.run(run_daemon())
+
+
+def test_delta_response_reports_only_redecided_verdicts(tmp_path):
+    """The LSP shape: after an edit, ``delta: true`` returns only the
+    verdicts that were actually re-decided."""
+    source = fuzz_source(7)
+    mutated = body_edit(source)
+
+    async def run_daemon():
+        with tempfile.TemporaryDirectory() as root:
+            app = ServeApp(ServeConfig(cache_root=root))
+            try:
+                def rpc(method, **params):
+                    return app.handle({"jsonrpc": "2.0", "id": 1,
+                                       "method": method,
+                                       "params": params})
+                await rpc("initialize", tenant="t", source=source)
+                full = await rpc("analyze", tenant="t")
+                await rpc("update", tenant="t", source=mutated)
+                delta = await rpc("analyze", tenant="t", delta=True)
+                counters = delta["result"]["counters"]
+                assert delta["result"]["delta"] is True
+                assert len(delta["result"]["findings"]) == \
+                    counters["candidates"] - counters["replayed_verdicts"]
+                assert len(delta["result"]["findings"]) <= \
+                    len(full["result"]["findings"])
+            finally:
+                app.close()
+
+    asyncio.run(run_daemon())
