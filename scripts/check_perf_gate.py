@@ -15,7 +15,12 @@ fresh and checks, in order:
 * **timing** — the incremental run's total solve time stays within a
   slack factor of a fresh ``--no-incremental`` run of the same cell
   (both measured on this machine, so the comparison is
-  machine-independent even though the absolute numbers are not).
+  machine-independent even though the absolute numbers are not);
+* **graph reduction** — ``results/BENCH_taint.json`` (a committed
+  ``ffmpeg`` x ``cwe-23`` cell; ffmpeg is the smallest registry subject
+  carrying taint injections) must keep matching a fresh run *and* its
+  sparsified view must stay at least ``TAINT_EDGE_REDUCTION_FLOOR``
+  times smaller than the full PDG (docs/sparsification.md).
 
 Exits nonzero with a diagnostic on the first violated property.
 """
@@ -36,18 +41,28 @@ from repro.cli import main  # noqa: E402  (path bootstrap above)
 
 BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                         os.pardir, "results", "BENCH_incremental.json")
+TAINT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                              os.pardir, "results", "BENCH_taint.json")
 
 #: Row fields that must match the baseline exactly: everything the
-#: analysis *decides*, nothing the wall clock touches.
+#: analysis *decides*, nothing the wall clock touches.  The four graph
+#: cells are deterministic too — pruning is a pure function of
+#: (program, checker footprint).
 EXACT_FIELDS = ("subject", "engine", "checker", "bugs", "reports", "tp",
                 "fp", "memory_units", "condition_units", "queries",
                 "unknown", "errors", "replayed", "query_clauses",
-                "failure")
+                "failure", "pdg_nodes", "pdg_edges", "view_nodes",
+                "view_edges")
 
 #: Incremental solve time may exceed the one-shot baseline by at most
 #: this factor (above the timer-jitter noise floor).
 SLACK = 1.5
 NOISE_FLOOR_SECONDS = 0.05
+
+#: The taint cell's sparsified view must keep at least this edge-count
+#: reduction over the full PDG.  A view with zero kept edges (every
+#: source/sink pair pruned away) trivially satisfies any floor.
+TAINT_EDGE_REDUCTION_FLOOR = 2.0
 
 
 def fail(message: str) -> None:
@@ -55,16 +70,28 @@ def fail(message: str) -> None:
     raise SystemExit(1)
 
 
-def run_bench(record_path: str, incremental: bool) -> dict:
+def run_bench(record_path: str, incremental: bool,
+              subject: str = "mcf", checker: str = "null-deref") -> dict:
     flag = "--incremental" if incremental else "--no-incremental"
     buffer = io.StringIO()
     with redirect_stdout(buffer):
-        code = main(["bench", "--subject", "mcf", "--engine", "fusion",
+        code = main(["bench", "--subject", subject, "--engine", "fusion",
+                     "--checker", checker,
                      "--bench-json", record_path, flag])
     if code != 0:
         fail(f"bench {flag} exited {code}:\n{buffer.getvalue()}")
     with open(record_path) as handle:
         return json.load(handle)
+
+
+def check_row(fresh: dict, baseline: dict, label: str) -> None:
+    for field in EXACT_FIELDS:
+        want, got = baseline["row"][field], fresh["row"][field]
+        if want != got:
+            fail(f"{label} row field {field!r} drifted from the "
+                 f"committed baseline: expected {want!r}, got {got!r} "
+                 f"(regenerate results/BENCH_*.json only if the change "
+                 f"is intended and explained)")
 
 
 def run() -> int:
@@ -76,19 +103,35 @@ def run() -> int:
     if baseline["schema"] != "repro-bench-incremental/1":
         fail(f"baseline has unexpected schema {baseline['schema']!r}")
 
+    try:
+        with open(TAINT_BASELINE) as handle:
+            taint_baseline = json.load(handle)
+    except OSError as error:
+        fail(f"cannot read committed taint baseline {TAINT_BASELINE!r}: "
+             f"{error}")
+    if taint_baseline["schema"] != "repro-bench-incremental/1":
+        fail(f"taint baseline has unexpected schema "
+             f"{taint_baseline['schema']!r}")
+
     with tempfile.TemporaryDirectory() as tmp:
         fresh = run_bench(os.path.join(tmp, "fresh.json"),
                           incremental=True)
         oneshot = run_bench(os.path.join(tmp, "oneshot.json"),
                             incremental=False)
+        taint = run_bench(os.path.join(tmp, "taint.json"),
+                          incremental=True, subject="ffmpeg",
+                          checker="cwe-23")
 
-    for field in EXACT_FIELDS:
-        want, got = baseline["row"][field], fresh["row"][field]
-        if want != got:
-            fail(f"row field {field!r} drifted from the committed "
-                 f"baseline: expected {want!r}, got {got!r} "
-                 f"(regenerate results/BENCH_incremental.json only if "
-                 f"the change is intended and explained)")
+    check_row(fresh, baseline, "mcf")
+    check_row(taint, taint_baseline, "taint")
+
+    view_edges = taint["row"]["view_edges"]
+    pdg_edges = taint["row"]["pdg_edges"]
+    if view_edges > 0 and pdg_edges < TAINT_EDGE_REDUCTION_FLOOR \
+            * view_edges:
+        fail(f"taint sparsification lost its edge-reduction floor: "
+             f"{pdg_edges} full edges vs {view_edges} view edges "
+             f"(< {TAINT_EDGE_REDUCTION_FLOOR}x)")
 
     counters = fresh["incremental"]
     for key in ("sessions", "assumption_solves", "encoder_hits"):
@@ -104,13 +147,15 @@ def run() -> int:
         fail(f"incremental solving regressed past {SLACK}x of one-shot: "
              f"{inc_solve:.3f}s vs {base_solve:.3f}s")
 
+    reduction = (pdg_edges / view_edges) if view_edges else float("inf")
     print(f"check_perf_gate: OK — row matches baseline "
           f"({fresh['row']['queries']} queries, "
           f"{fresh['row']['bugs']} bugs), "
           f"{counters['sessions']} session(s), "
           f"{counters['assumption_solves']} assumption solve(s), "
           f"solve {base_solve:.3f}s one-shot vs {inc_solve:.3f}s "
-          f"incremental")
+          f"incremental, taint view {view_edges}/{pdg_edges} edges "
+          f"({reduction:.1f}x reduction)")
     return 0
 
 

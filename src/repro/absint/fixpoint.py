@@ -32,7 +32,7 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterable, Optional
 
 from repro.absint.domains import (AbsValue, FixpointStats, Interval,
                                   Nullness, TaintSpec)
@@ -84,18 +84,40 @@ class AbstractState:
 
 def analyze_pdg(pdg: ProgramDependenceGraph,
                 taint_spec: Optional[TaintSpec] = None,
-                config: Optional[FixpointConfig] = None) -> AbstractState:
-    """Run the sparse fixpoint and return the per-vertex abstract state."""
+                config: Optional[FixpointConfig] = None,
+                restrict: Optional[Iterable[int]] = None) -> AbstractState:
+    """Run the sparse fixpoint and return the per-vertex abstract state.
+
+    ``restrict`` (when given) limits the fixpoint to a *pred-closed*
+    set of vertex indices — every data predecessor of a member is a
+    member, as with the covered sets of
+    :meth:`repro.pdg.reduce.SparsePDGView.covered`.  The restricted run
+    processes exactly the subsequence of the full run's FIFO schedule
+    that touches the set, so values (and widening decisions) at member
+    vertices are byte-identical to the full run; vertices outside stay
+    bottom and must not be read.
+    """
     spec = taint_spec if taint_spec is not None else TaintSpec.default()
     config = config if config is not None else FixpointConfig()
     state = AbstractState(pdg, pdg.program.width,
                           [AbsValue.bottom()] * pdg.num_vertices)
-    state.stats.vertices = pdg.num_vertices
     start = time.perf_counter()
 
     update_counts = [0] * pdg.num_vertices
-    worklist = deque(range(pdg.num_vertices))
-    queued = [True] * pdg.num_vertices
+    if restrict is None:
+        allowed = None
+        worklist = deque(range(pdg.num_vertices))
+        queued = [True] * pdg.num_vertices
+        state.stats.vertices = pdg.num_vertices
+    else:
+        order = sorted(set(restrict))
+        allowed = bytearray(pdg.num_vertices)
+        queued = [False] * pdg.num_vertices
+        for index in order:
+            allowed[index] = 1
+            queued[index] = True
+        worklist = deque(order)
+        state.stats.vertices = len(order)
 
     while worklist:
         index = worklist.popleft()
@@ -114,6 +136,8 @@ def analyze_pdg(pdg: ProgramDependenceGraph,
         state.values[index] = merged
         for edge in pdg.data_succs(vertex):
             succ = edge.dst.index
+            if allowed is not None and not allowed[succ]:
+                continue
             if not queued[succ]:
                 queued[succ] = True
                 worklist.append(succ)

@@ -72,25 +72,37 @@ class CandidateTriage:
     """
 
     def __init__(self, pdg: ProgramDependenceGraph, checker=None,
-                 config: Optional[TriageConfig] = None) -> None:
+                 config: Optional[TriageConfig] = None,
+                 view=None) -> None:
         self.pdg = pdg
         self.config = config if config is not None else TriageConfig()
         self.taint_spec = (TaintSpec.from_checker(checker)
                            if checker is not None else TaintSpec.default())
         self.stats = TriageStats()
+        self.view = view
         self._state: Optional[AbstractState] = None
 
     @property
     def state(self) -> AbstractState:
         if self._state is None:
-            self._state = analyze_pdg(
-                self.pdg, self.taint_spec,
-                FixpointConfig(widen_after=self.config.widen_after))
+            if self.view is not None:
+                # Restricted to the view's pred-closed covered set: every
+                # vertex a decision reads (path vertices, requirement
+                # condition defs, refinement's backward walk, root-frame
+                # parameters) carries its full-run value there.
+                self._state = self.view.fixpoint_state(
+                    self.taint_spec, self.config.widen_after)
+            else:
+                self._state = analyze_pdg(
+                    self.pdg, self.taint_spec,
+                    FixpointConfig(widen_after=self.config.widen_after))
             self.stats.fixpoint = self._state.stats
         return self._state
 
     def decide(self, candidate: BugCandidate) -> TriageDecision:
-        the_slice = compute_slice(self.pdg, [candidate.path])
+        the_slice = compute_slice(
+            self.pdg, [candidate.path],
+            index=self.view.slice_index if self.view is not None else None)
         refiner = SliceRefiner(self.pdg, self.state,
                                max_steps=self.config.max_refinement_steps)
         if refiner.proves_infeasible(the_slice):
@@ -156,21 +168,22 @@ class CandidateTriage:
 
 
 def make_triage(pdg: ProgramDependenceGraph, checker,
-                spec) -> Optional[CandidateTriage]:
+                spec, view=None) -> Optional[CandidateTriage]:
     """Coerce an engine's ``triage=`` argument to a triage instance.
 
     Accepts ``None``/``False`` (off), ``True`` (default config), a
     :class:`TriageConfig`, or a prebuilt :class:`CandidateTriage` (reused
-    as-is, fixpoint and all).
+    as-is, fixpoint and all; a ``view`` is only attached to instances
+    built here).
     """
     if spec is None or spec is False:
         return None
     if isinstance(spec, CandidateTriage):
         return spec
     if isinstance(spec, TriageConfig):
-        return CandidateTriage(pdg, checker, spec)
+        return CandidateTriage(pdg, checker, spec, view=view)
     if spec is True:
-        return CandidateTriage(pdg, checker)
+        return CandidateTriage(pdg, checker, view=view)
     raise TypeError(f"triage must be a bool, TriageConfig or "
                     f"CandidateTriage, not {spec!r}")
 

@@ -35,6 +35,7 @@ from repro.fusion.instantiate import assemble_condition
 from repro.fusion.transform import ConditionTransformer
 from repro.limits import Budget, Deadline, QueryDeadlineExceeded
 from repro.pdg.graph import ProgramDependenceGraph
+from repro.pdg.reduce import ViewRegistry
 from repro.pdg.slicing import Slice, compute_slice
 from repro.smt.incremental import SessionStats, SolverSession
 from repro.smt.preprocess import constraint_set_size
@@ -61,6 +62,8 @@ class PinpointConfig:
     #: sessions (see ``GraphSolverConfig.incremental``); opt-in, the CLI
     #: enables it per run.
     incremental: bool = False
+    #: Checker-specific PDG sparsification (see ``FusionConfig.sparsify``).
+    sparsify: bool = True
 
 
 class PinpointEngine:
@@ -74,6 +77,7 @@ class PinpointEngine:
         self.smt = SmtSolver(self.transformer.manager, self.config.solver)
         self._summary_cache: dict[tuple, list[Term]] = {}
         self._sessions: dict[object, SolverSession] = {}
+        self.views = ViewRegistry(pdg)
         self.session_stats = SessionStats()
         self.cached_condition_nodes = 0
         self.peak_condition_nodes = 0
@@ -148,9 +152,15 @@ class PinpointEngine:
         deltas) is rebuilt on every call, mirroring FusionEngine."""
         self.query_records = []
         sessions_before = self.session_stats.as_tuple()
+        view = self.views.view_for(checker) if self.config.sparsify \
+            else None
+        if telemetry is not None:
+            self.views.flush_telemetry(telemetry)
+        index = view.slice_index if view is not None else None
         cache = None
         if exec_config is not None and exec_config.effective_jobs <= 1:
-            cache = SliceCache(exec_config.slice_cache_capacity)
+            cache = SliceCache(exec_config.slice_cache_capacity,
+                               index=index)
         incremental = self.config.incremental
 
         def solve(candidate: BugCandidate) -> SmtResult:
@@ -163,7 +173,7 @@ class PinpointEngine:
                                       deadline=deadline)
             else:
                 the_slice = compute_slice(self.pdg, [candidate.path],
-                                          deadline=deadline)
+                                          deadline=deadline, index=index)
             group = candidate.group_key() if incremental else None
             return self._solve_one(candidate, the_slice, deadline=deadline,
                                    group=group)
@@ -184,19 +194,20 @@ class PinpointEngine:
                                   replace(self.config, budget=None),
                                   query_timeout=self.config.solver
                                   .time_limit,
-                                  grouped=incremental)
+                                  grouped=incremental,
+                                  sparsify=self.config.sparsify)
             execution = ExecutionPlan(config, spec, telemetry)
 
-        triage = make_triage(self.pdg, checker, triage)
+        triage = make_triage(self.pdg, checker, triage, view=view)
         binding = store.bind(self.pdg,
-                             self._store_fingerprint(triage),
+                             self._store_fingerprint(triage, checker),
                              checker.name, telemetry) \
             if store is not None else None
         result = run_analysis(self.pdg, checker, self.name, solve,
                               self._memory_snapshot, self.config.budget,
                               self.config.sparse, self.query_records,
                               execution=execution, triage=triage,
-                              store=binding)
+                              store=binding, view=view)
         if cache is not None and telemetry is not None:
             stats = cache.stats()
             telemetry.record_cache("slice", stats.hits, stats.misses,
@@ -215,7 +226,7 @@ class PinpointEngine:
                             "learned_kept"), delta)))
         return result
 
-    def _store_fingerprint(self, triage) -> dict:
+    def _store_fingerprint(self, triage, checker: Checker) -> dict:
         """Verdict-affecting knobs (see FusionEngine._store_fingerprint
         for the exclusion rationale).  The summary tactic is keyed by
         name: the tactics are pure formula transforms, so equal names
@@ -237,6 +248,13 @@ class PinpointEngine:
             "triage": None if triage is None
             else [triage.config.max_refinement_steps,
                   triage.config.widen_after],
+            # Defensive keying, mirroring FusionEngine: the sparsified
+            # pipeline is byte-identical by contract, but a footprint bug
+            # must not silently replay wrong warm verdicts.
+            "sparsify": self.config.sparsify,
+            "footprint": [list(part) if isinstance(part, tuple) else part
+                          for part in checker.footprint().key()]
+            if self.config.sparsify else None,
         }
 
     def _solve_one(self, candidate: BugCandidate, the_slice: Slice,
@@ -457,7 +475,8 @@ def make_pinpoint(pdg: ProgramDependenceGraph, variant: str = "",
                   budget: Optional[Budget] = None,
                   solver: Optional[SolverConfig] = None,
                   sparse: Optional[SparseConfig] = None,
-                  incremental: bool = False) -> PinpointEngine:
+                  incremental: bool = False,
+                  sparsify: bool = True) -> PinpointEngine:
     """Factory for ``""`` (plain), ``"qe"``, ``"lfs"``, ``"hfs"``, ``"ar"``."""
     tactics: dict[str, Optional[SummaryTactic]] = {
         "": None, "qe": _qe_tactic, "lfs": _lfs_tactic, "hfs": _hfs_tactic,
@@ -472,5 +491,6 @@ def make_pinpoint(pdg: ProgramDependenceGraph, variant: str = "",
         summary_tactic=tactics[variant],
         abstraction_refinement=(variant == "ar"),
         variant_suffix=f"+{variant.upper()}" if variant else "",
-        incremental=incremental)
+        incremental=incremental,
+        sparsify=sparsify)
     return PinpointEngine(pdg, config)

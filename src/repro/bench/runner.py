@@ -45,6 +45,14 @@ class RunOutcome:
     result: AnalysisResult
     precision: PrecisionRecall
     query_records: list[QueryRecord] = field(default_factory=list)
+    #: Graph-size cells: full PDG vs the checker's sparsified view
+    #: (equal when sparsification is off or the engine has no views).
+    #: docs/sparsification.md; the perf gate keys its taint-reduction
+    #: floor off these.
+    pdg_nodes: int = 0
+    pdg_edges: int = 0
+    view_nodes: int = 0
+    view_edges: int = 0
 
     @property
     def failed(self) -> Optional[str]:
@@ -66,6 +74,10 @@ class RunOutcome:
             "unknown": self.result.unknown_queries,
             "errors": self.result.error_queries,
             "replayed": self.result.replayed_verdicts,
+            "pdg_nodes": self.pdg_nodes,
+            "pdg_edges": self.pdg_edges,
+            "view_nodes": self.view_nodes,
+            "view_edges": self.view_edges,
             # Per-query detail, in candidate order: wall seconds and SAT
             # clause-database size at search time (0 = decided before the
             # SAT stage).  Machine-readable perf trajectory for
@@ -88,13 +100,14 @@ def pdg_for(subject_name: str) -> ProgramDependenceGraph:
 def make_engine(engine: str, pdg: ProgramDependenceGraph,
                 budget: Optional[Budget],
                 query_timeout: Optional[float] = None,
-                incremental: bool = False):
+                incremental: bool = False, sparsify: bool = True):
     """Thin wrapper over :func:`repro.engine.build_engine` (the shared
     factory): bench engines run without witness extraction and under the
     run budget."""
     return build_engine(engine, pdg, want_model=False,
                         query_timeout=query_timeout,
-                        incremental=incremental, budget=budget)
+                        incremental=incremental, budget=budget,
+                        sparsify=sparsify)
 
 
 def run_engine(subject_name: str, engine: str, checker_name: str,
@@ -107,7 +120,8 @@ def run_engine(subject_name: str, engine: str, checker_name: str,
                max_retries: Optional[int] = None,
                on_error: str = "unknown",
                fault_plan: Optional[FaultPlan] = None,
-               store=None, incremental: bool = False) -> RunOutcome:
+               store=None, incremental: bool = False,
+               sparsify: bool = True) -> RunOutcome:
     """Run one (engine, checker) pair on one subject.
 
     ``jobs=1`` (the default) is the seed sequential path — benchmark
@@ -128,7 +142,7 @@ def run_engine(subject_name: str, engine: str, checker_name: str,
                     max_memory_units=memory_budget)
     engine_obj = make_engine(engine, pdg, budget,
                              query_timeout=query_timeout,
-                             incremental=incremental)
+                             incremental=incremental, sparsify=sparsify)
     checker: Checker = CHECKERS[checker_name]()
     kwargs = {}
     if triage:
@@ -162,5 +176,15 @@ def run_engine(subject_name: str, engine: str, checker_name: str,
         telemetry.annotate(subject=subject_name)
     precision = evaluate_reports(subject, result)
     records = getattr(engine_obj, "query_records", [])
+    pdg_nodes = pdg.num_vertices
+    pdg_edges = sum(len(pdg.data_succs(v)) for v in pdg.vertices)
+    view_nodes, view_edges = pdg_nodes, pdg_edges
+    views = getattr(engine_obj, "views", None)
+    if sparsify and views is not None:
+        stats = views.view_for(checker).stats()
+        view_nodes = stats["nodes_kept"]
+        view_edges = stats["edges_kept"]
     return RunOutcome(subject_name, engine, checker_name, result, precision,
-                      list(records))
+                      list(records), pdg_nodes=pdg_nodes,
+                      pdg_edges=pdg_edges, view_nodes=view_nodes,
+                      view_edges=view_edges)

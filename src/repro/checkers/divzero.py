@@ -19,7 +19,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.checkers.base import Checker
+from repro.checkers.base import (SYMBOL_CLASS_DIVISOR_DEFS, Checker,
+                                 CheckerFootprint)
 from repro.lang.ir import (Assign, Binary, BinOp, Call, IfThenElse, Return,
                            Var, VarType)
 from repro.pdg.graph import DataEdge, EdgeKind, ProgramDependenceGraph, Vertex
@@ -36,8 +37,32 @@ class DivByZeroChecker(Checker):
     # Checker protocol
     # ------------------------------------------------------------------ #
 
+    def footprint(self) -> CheckerFootprint:
+        # Sources are value-dependent (any interval proven [0, 0]), so
+        # they are volatile: an edit anywhere can fold a new zero into
+        # existence, and views must be rebuilt after every edit.
+        return CheckerFootprint(
+            checker=self.name,
+            symbol_classes=(SYMBOL_CLASS_DIVISOR_DEFS,),
+            edge_kinds=frozenset({EdgeKind.LOCAL, EdgeKind.CALL,
+                                  EdgeKind.RETURN}),
+            volatile_sources=True)
+
     def sources(self, pdg: ProgramDependenceGraph) -> list[Vertex]:
         state = self._fixpoint(pdg)
+        return self._zero_defs(pdg, state)
+
+    def sources_for(self, pdg: ProgramDependenceGraph, view) -> list[Vertex]:
+        """Observable zero definitions, via the view's *restricted*
+        fixpoint: values at observable vertices equal the full run's
+        (the covered set is pred-closed), and vertices outside stay
+        bottom but are filtered out by observability anyway."""
+        state = view.fixpoint_state()
+        return [vertex for vertex in self._zero_defs(pdg, state)
+                if view.observable(vertex)]
+
+    def _zero_defs(self, pdg: ProgramDependenceGraph,
+                   state) -> list[Vertex]:
         out = []
         for vertex in pdg.vertices:
             if vertex.var.type is not VarType.INT:

@@ -12,7 +12,9 @@ pattern of the paper's Figure 1 example, where the null flows from
 from __future__ import annotations
 
 from repro.lang.ir import (Assign, Call, Const, IfThenElse, Return, Var)
-from repro.checkers.base import Checker
+from repro.checkers.base import (SYMBOL_CLASS_DEREF_SINKS,
+                                 SYMBOL_CLASS_NULL_PRODUCING, Checker,
+                                 CheckerFootprint)
 from repro.pdg.graph import DataEdge, EdgeKind, ProgramDependenceGraph, Vertex
 
 #: Library routines that dereference their pointer arguments.
@@ -25,6 +27,15 @@ class NullDereferenceChecker(Checker):
 
     def __init__(self, sinks: frozenset[str] = DEREF_SINKS) -> None:
         self.sinks = sinks
+
+    def footprint(self) -> CheckerFootprint:
+        return CheckerFootprint(
+            checker=self.name,
+            sink_symbols=self.sinks,
+            symbol_classes=(SYMBOL_CLASS_NULL_PRODUCING,
+                            SYMBOL_CLASS_DEREF_SINKS),
+            null_literal_sources=True,
+            remappable=True)
 
     def sources(self, pdg: ProgramDependenceGraph) -> list[Vertex]:
         out = []

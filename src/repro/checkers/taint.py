@@ -14,7 +14,10 @@ propagates through ``Binary`` statements and EXTERN edges.
 from __future__ import annotations
 
 from repro.lang.ir import Assign, Binary, Call, IfThenElse, Return, Var
-from repro.checkers.base import Checker
+from repro.checkers.base import (SYMBOL_CLASS_SANITIZERS,
+                                 SYMBOL_CLASS_TAINT_SINKS,
+                                 SYMBOL_CLASS_TAINT_SOURCES, Checker,
+                                 CheckerFootprint)
 from repro.pdg.graph import DataEdge, EdgeKind, ProgramDependenceGraph, Vertex
 
 
@@ -28,6 +31,16 @@ class TaintChecker(Checker):
         self.source_calls = source_calls
         self.sink_calls = sink_calls
         self.sanitizers = sanitizers
+
+    def footprint(self) -> CheckerFootprint:
+        return CheckerFootprint(
+            checker=self.name,
+            source_symbols=self.source_calls,
+            sink_symbols=self.sink_calls,
+            symbol_classes=(SYMBOL_CLASS_TAINT_SOURCES,
+                            SYMBOL_CLASS_TAINT_SINKS,
+                            SYMBOL_CLASS_SANITIZERS),
+            remappable=True)
 
     def sources(self, pdg: ProgramDependenceGraph) -> list[Vertex]:
         return [v for v in pdg.vertices

@@ -119,9 +119,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable persistent solver sessions")
     serve.add_argument("--triage", action="store_true",
                        help="run the absint triage pre-pass per request")
+    serve.add_argument("--sparsify",
+                       action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="per-checker pruned PDG views, cached across "
+                            "requests until an edit invalidates them "
+                            "(--no-sparsify walks the full graph; "
+                            "responses are byte-identical either way)")
     serve.add_argument("--fault-plan", metavar="SPEC", default=None,
                        help="inject deterministic faults into every "
                             "request (testing/CI only)")
+
+    pdg = sub.add_parser(
+        "pdg",
+        help="inspect checker-specific sparsified PDG views: graph-size "
+             "stats before/after pruning and graphviz dumps "
+             "(see docs/sparsification.md)")
+    pdg.add_argument("--subject", required=True,
+                     help="registry subject id/name, or a path to a "
+                          "small-language source file")
+    pdg.add_argument("--checker", action="append",
+                     choices=sorted(CHECKER_FACTORIES),
+                     help="checker view to build (repeatable; "
+                          "default: all)")
+    pdg.add_argument("--stats", action="store_true",
+                     help="print per-checker view statistics as JSON "
+                          "(the default when --dot is absent)")
+    pdg.add_argument("--dot", metavar="FILE",
+                     help="write the pruned view in graphviz format "
+                          "('-' for stdout; needs exactly one --checker)")
 
     lint = sub.add_parser(
         "lint",
@@ -192,14 +218,23 @@ def _add_exec_arguments(parser: argparse.ArgumentParser) -> None:
                              "restores one-shot solving; default on; the "
                              "infer baseline has no SMT stage and ignores "
                              "it — see docs/solver.md)")
+    parser.add_argument("--sparsify",
+                        action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="run candidate collection, slicing and triage "
+                             "over per-checker pruned PDG views "
+                             "(--no-sparsify walks the full graph; reports "
+                             "are byte-identical either way — see "
+                             "docs/sparsification.md; default on; the "
+                             "infer baseline ignores it)")
 
 
 def _make_engine(name: str, pdg, want_model: bool,
                  query_timeout: Optional[float] = None,
-                 incremental: bool = False):
+                 incremental: bool = False, sparsify: bool = True):
     return build_engine(name, pdg, want_model=want_model,
                         query_timeout=query_timeout,
-                        incremental=incremental)
+                        incremental=incremental, sparsify=sparsify)
 
 
 def cmd_scan(args: argparse.Namespace) -> int:
@@ -361,7 +396,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
                          on_error=args.on_error,
                          fault_plan=fault_plan,
                          store=_make_store(args),
-                         incremental=args.incremental)
+                         incremental=args.incremental,
+                         sparsify=args.sparsify)
     row = outcome.row()
     print(json.dumps(row, indent=2))
     if not args.no_bench_json:
@@ -412,7 +448,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     pdg = prepare_pdg(program)
     engine = _make_engine(args.engine, pdg, want_model=True,
                           query_timeout=args.query_timeout,
-                          incremental=args.incremental)
+                          incremental=args.incremental,
+                          sparsify=args.sparsify)
     checker = CHECKER_FACTORIES[args.checker]()
     kwargs = {"triage": True} if args.triage else {}
     store = _make_store(args)
@@ -459,7 +496,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     config = ServeConfig(
         settings=EngineSettings(engine=args.engine,
                                 incremental=not args.no_incremental,
-                                triage=args.triage),
+                                triage=args.triage,
+                                sparsify=args.sparsify),
         workers=args.workers, max_queue=args.max_queue,
         jobs=args.jobs, backend=args.backend,
         cache_root=args.cache_root,
@@ -475,6 +513,34 @@ def cmd_serve(args: argparse.Namespace) -> int:
             asyncio.run(run_http(config, args.host, args.port))
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+def cmd_pdg(args: argparse.Namespace) -> int:
+    """Per-checker sparsified-view inspection (docs/sparsification.md)."""
+    from repro.pdg import build_view, view_to_dot
+
+    program = _resolve_subject_program(args.subject)
+    pdg = prepare_pdg(program)
+    checker_names = args.checker or sorted(CHECKER_FACTORIES)
+    if args.dot and len(checker_names) != 1:
+        print("repro pdg: --dot needs exactly one --checker",
+              file=sys.stderr)
+        return 2
+    stats = {}
+    for name in checker_names:
+        view = build_view(pdg, CHECKER_FACTORIES[name]())
+        stats[name] = view.stats()
+        if args.dot:
+            rendered = view_to_dot(view)
+            if args.dot == "-":
+                print(rendered)
+            else:
+                with open(args.dot, "w") as handle:
+                    handle.write(rendered)
+    if args.stats or not args.dot:
+        print(json.dumps({"subject": args.subject, "views": stats},
+                         indent=2))
     return 0
 
 
@@ -515,7 +581,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"scan": cmd_scan, "subjects": cmd_subjects,
                 "bench": cmd_bench, "analyze": cmd_analyze,
-                "serve": cmd_serve, "lint": cmd_lint}
+                "serve": cmd_serve, "pdg": cmd_pdg, "lint": cmd_lint}
     return handlers[args.command](args)
 
 

@@ -47,7 +47,8 @@ ENGINE_CHOICES = ("fusion", "fusion-unopt", "pinpoint", "pinpoint+lfs",
 def build_engine(name: str, pdg, *, want_model: bool = False,
                  query_timeout: Optional[float] = None,
                  incremental: bool = False,
-                 budget: Optional[Budget] = None):
+                 budget: Optional[Budget] = None,
+                 sparsify: bool = True):
     """One configured engine object from an engine name.
 
     ``query_timeout`` overrides the solver's default 10 s per-query cap
@@ -55,7 +56,9 @@ def build_engine(name: str, pdg, *, want_model: bool = False,
     docs/robustness.md); ``incremental`` routes grouped queries through
     persistent assumption-based solver sessions (docs/solver.md; the
     infer baseline has no SMT stage and ignores it); ``budget`` bounds
-    the whole run (bench's Memory-Out/timeout protocol).
+    the whole run (bench's Memory-Out/timeout protocol); ``sparsify``
+    runs collection/slicing/triage over per-checker pruned PDG views
+    (docs/sparsification.md — results are byte-identical either way).
     """
     from repro.baselines.infer import InferConfig, InferEngine
     from repro.baselines.pinpoint import make_pinpoint
@@ -70,13 +73,13 @@ def build_engine(name: str, pdg, *, want_model: bool = False,
             solver=GraphSolverConfig(optimized=(name == "fusion"),
                                      want_model=want_model, solver=smt,
                                      incremental=incremental),
-            budget=budget))
+            budget=budget, sparsify=sparsify))
     if name == "infer":
         return InferEngine(pdg, InferConfig(budget=budget))
     if name.startswith("pinpoint"):
         variant = name.partition("+")[2].lower()
         return make_pinpoint(pdg, variant, budget=budget, solver=smt,
-                             incremental=incremental)
+                             incremental=incremental, sparsify=sparsify)
     raise ValueError(f"unknown engine {name!r}")
 
 
@@ -127,6 +130,7 @@ class EngineSettings:
     want_model: bool = True
     incremental: bool = True
     triage: bool = False
+    sparsify: bool = True
     query_timeout: Optional[float] = None
     loop_unroll: int = 2
     width: int = 8
@@ -166,15 +170,31 @@ class AnalysisSession:
         Compilation errors propagate *before* any state is touched, so a
         bad edit never bricks the session — the previous program stays
         analysable.
+
+        Per-checker sparse views migrate selectively: views whose
+        footprint does not intersect the edited functions are *remapped*
+        onto the new PDG instead of rebuilt (see
+        :meth:`repro.pdg.reduce.ViewRegistry.adopt`), so a hot session
+        pays view construction only for the checkers an edit can affect.
         """
         from repro.fusion import prepare_pdg
+        from repro.lang.fingerprint import program_keys
 
         program = compile_source(source, self.settings.lowering())
         pdg = prepare_pdg(program)
         engine = build_engine(self.settings.engine, pdg,
                               want_model=self.settings.want_model,
                               query_timeout=self.settings.query_timeout,
-                              incremental=self.settings.incremental)
+                              incremental=self.settings.incremental,
+                              sparsify=self.settings.sparsify)
+        old_engine, old_pdg = self.engine, self.pdg
+        if old_engine is not None and old_pdg is not None \
+                and getattr(old_engine, "views", None) is not None \
+                and getattr(engine, "views", None) is not None:
+            engine.views.adopt(old_engine.views,
+                               program_keys(old_pdg.program),
+                               program_keys(pdg.program),
+                               pdg.program)
         self.source, self.pdg, self.engine = source, pdg, engine
         self.generation += 1
 

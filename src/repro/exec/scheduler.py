@@ -147,6 +147,14 @@ class WorkerSpec:
     #: rebuilds the runner from scratch, so the degradation ladder's
     #: retry/requeue logic needs no special casing.
     grouped: bool = False
+    #: Checker-specific PDG sparsification: process workers that
+    #: re-collect the candidate list build the same pruned
+    #: :class:`~repro.pdg.reduce.SparsePDGView` the parent used, so
+    #: collection walks the identical adjacency (and hands the view's
+    #: condensed slice index to the worker's slice cache).  Collection
+    #: with and without the view is byte-identical by the pruning
+    #: contract; the flag only keeps worker-side *cost* in line.
+    sparsify: bool = False
 
 
 @dataclass
@@ -232,11 +240,18 @@ class _WorkerState:
                  process_worker: bool = False) -> None:
         self.pdg = spec.pdg
         self.spec = spec
+        slice_index = None
         if candidates is None:
+            view = None
+            if spec.sparsify:
+                from repro.pdg.reduce import build_view
+
+                view = build_view(spec.pdg, spec.checker)
+                slice_index = view.slice_index
             candidates = collect_candidates(spec.pdg, spec.checker,
-                                            spec.sparse)
+                                            spec.sparse, view=view)
         self.candidates = candidates
-        self.cache = SliceCache(cache_capacity)
+        self.cache = SliceCache(cache_capacity, index=slice_index)
         self.grouped = spec.grouped
         # Grouped (incremental) mode builds a fresh runner per batch in
         # solve_batch instead — a shared runner would make concurrent

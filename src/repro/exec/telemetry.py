@@ -36,7 +36,11 @@ from repro.smt.solver import SmtStatus
 #: served/rejected, live tenant sessions, replayed verdicts, admission
 #: queue depth/peak, p50/p95 request latency) and Telemetry.merge (the
 #: daemon folds per-request instances into its server-lifetime one).
-SCHEMA = "repro-exec-telemetry/6"
+#: /7 added the "reduce" section (checker-specific PDG sparsification:
+#: views built/cached/remapped/invalidated, per-checker nodes and edges
+#: kept vs elided, SCC counts, bypass-edge stitches, elided sources,
+#: view (re)build seconds).
+SCHEMA = "repro-exec-telemetry/7"
 
 #: Request-latency samples kept for the percentile estimates; the serve
 #: soak keeps a daemon alive indefinitely, so the window is bounded
@@ -88,6 +92,21 @@ class Telemetry:
             "replayed_verdicts": 0,  # verdicts served from the warm store
             "queue_depth": 0,        # admitted requests in flight right now
             "queue_peak": 0,         # high-water mark of queue_depth
+        }
+        self.reduce: dict[str, float] = {
+            "views_built": 0,        # pruned views constructed from scratch
+            "view_cache_hits": 0,    # analyze() calls served a cached view
+            "views_remapped": 0,     # views migrated across an edit
+            "views_invalidated": 0,  # views dropped by an edit
+            "build_seconds": 0.0,    # total view construction time
+            "nodes_kept": 0,         # footprint-reachable vertices kept
+            "nodes_elided": 0,       # vertices pruned from walks
+            "edges_kept": 0,         # data edges kept in views
+            "edges_elided": 0,       # data edges pruned from walks
+            "scc_count": 0,          # condensed components across views
+            "bypass_edges": 0,       # chain-elision bypass stitches
+            "live_sources": 0,       # sources that can reach a sink
+            "sources_elided": 0,     # sources pruned as unobservable
         }
         self._latencies: list[float] = []
         self.faults: dict[str, int] = {
@@ -184,6 +203,13 @@ class Telemetry:
             for key, amount in counts.items():
                 self.incremental[key] = self.incremental.get(key, 0) + amount
 
+    def record_reduce(self, **counts: float) -> None:
+        """One registry flush's sparsification counters (see the
+        ``reduce`` section keys)."""
+        with self._lock:
+            for key, amount in counts.items():
+                self.reduce[key] = self.reduce.get(key, 0) + amount
+
     def record_fault(self, kind: str, amount: int = 1) -> None:
         """One fault-tolerance event (see the ``faults`` section keys)."""
         with self._lock:
@@ -248,6 +274,7 @@ class Telemetry:
             for section, mine in (("triage", self.triage),
                                   ("store", self.store),
                                   ("incremental", self.incremental),
+                                  ("reduce", self.reduce),
                                   ("faults", self.faults)):
                 for key, value in snapshot[section].items():
                     mine[key] = mine.get(key, 0) + value
@@ -299,6 +326,7 @@ class Telemetry:
                 "triage": dict(self.triage),
                 "store": dict(self.store),
                 "incremental": dict(self.incremental),
+                "reduce": dict(self.reduce),
                 "serve": serve,
                 "faults": dict(self.faults),
             }

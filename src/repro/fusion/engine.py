@@ -26,6 +26,7 @@ from repro.limits import Budget, Deadline
 from repro.pdg.builder import build_pdg
 from repro.pdg.callgraph import unroll_recursion
 from repro.pdg.graph import ProgramDependenceGraph
+from repro.pdg.reduce import ViewRegistry
 from repro.pdg.slicing import compute_slice
 from repro.smt.solver import SmtResult
 from repro.sparse.driver import QueryRecord, run_analysis
@@ -37,6 +38,11 @@ class FusionConfig:
     solver: GraphSolverConfig = field(default_factory=GraphSolverConfig)
     sparse: SparseConfig = field(default_factory=SparseConfig)
     budget: Optional[Budget] = None
+    #: Checker-specific PDG sparsification: collection, slicing and the
+    #: triage fixpoint run over a pruned
+    #: :class:`~repro.pdg.reduce.SparsePDGView` (byte-identical results,
+    #: see the pruning contract in ``repro.pdg.reduce``).
+    sparsify: bool = True
 
 
 def prepare_pdg(program: Program) -> ProgramDependenceGraph:
@@ -111,6 +117,10 @@ class FusionEngine:
         self.transformer = ConditionTransformer(self.pdg)
         self.solver = IrBasedSmtSolver(self.pdg, self.transformer,
                                        self.config.solver)
+        #: Per-checker sparse views, cached across ``analyze`` calls (the
+        #: serve daemon keeps the engine hot, so views survive between
+        #: requests until an edit invalidates them).
+        self.views = ViewRegistry(self.pdg)
         self.query_records: list[QueryRecord] = []
 
     def analyze(self, checker: Checker,
@@ -134,7 +144,12 @@ class FusionEngine:
         observes a previous request's numbers."""
         self.query_records = []
         sessions_before = self.solver.session_stats.as_tuple()
-        cache = self._slice_cache(exec_config)
+        view = self.views.view_for(checker) if self.config.sparsify \
+            else None
+        if telemetry is not None:
+            self.views.flush_telemetry(telemetry)
+        index = view.slice_index if view is not None else None
+        cache = self._slice_cache(exec_config, index)
         incremental = self.config.solver.incremental
 
         def solve(candidate: BugCandidate) -> SmtResult:
@@ -147,22 +162,22 @@ class FusionEngine:
                                       deadline=deadline)
             else:
                 the_slice = compute_slice(self.pdg, [candidate.path],
-                                          deadline=deadline)
+                                          deadline=deadline, index=index)
             group = candidate.group_key() if incremental else None
             return self.solver.solve([candidate.path], the_slice,
                                      deadline=deadline, group=group)
 
         execution = self._execution_plan(checker, exec_config, telemetry)
-        triage = make_triage(self.pdg, checker, triage)
+        triage = make_triage(self.pdg, checker, triage, view=view)
         binding = store.bind(self.pdg,
-                             self._store_fingerprint(triage),
+                             self._store_fingerprint(triage, checker),
                              checker.name, telemetry) \
             if store is not None else None
         result = run_analysis(self.pdg, checker, self.name, solve,
                               self._memory_snapshot, self.config.budget,
                               self.config.sparse, self.query_records,
                               execution=execution, triage=triage,
-                              store=binding)
+                              store=binding, view=view)
         if cache is not None and telemetry is not None:
             stats = cache.stats()
             telemetry.record_cache("slice", stats.hits, stats.misses,
@@ -182,7 +197,7 @@ class FusionEngine:
                             "learned_kept"), delta)))
         return result
 
-    def _store_fingerprint(self, triage) -> dict:
+    def _store_fingerprint(self, triage, checker: Checker) -> dict:
         """Every knob that can change a cacheable verdict (or the report
         built from it).  Time/conflict limits are deliberately excluded:
         exceeding either yields UNKNOWN, which is never persisted, so
@@ -210,16 +225,24 @@ class FusionEngine:
             "triage": None if triage is None
             else [triage.config.max_refinement_steps,
                   triage.config.widen_after],
+            # The sparsified pipeline is byte-identical by contract, but
+            # a footprint bug would silently replay wrong verdicts, so
+            # the flag and the checker's footprint version key the store
+            # defensively (flipping either invalidates warm artifacts).
+            "sparsify": self.config.sparsify,
+            "footprint": [list(part) if isinstance(part, tuple) else part
+                          for part in checker.footprint().key()]
+            if self.config.sparsify else None,
         }
 
-    def _slice_cache(self, exec_config: Optional[ExecConfig]
-                     ) -> Optional[SliceCache]:
+    def _slice_cache(self, exec_config: Optional[ExecConfig],
+                     index=None) -> Optional[SliceCache]:
         """Sequential-path slice memo (workers keep their own; see the
         scheduler).  Only built when the caller opted into the exec layer
         and this run will actually solve in-process."""
         if exec_config is None or exec_config.effective_jobs > 1:
             return None
-        return SliceCache(exec_config.slice_cache_capacity)
+        return SliceCache(exec_config.slice_cache_capacity, index=index)
 
     def _execution_plan(self, checker: Checker,
                         exec_config: Optional[ExecConfig],
@@ -245,7 +268,8 @@ class FusionEngine:
                               replace(self.config, budget=None),
                               query_timeout=self.config.solver.solver
                               .time_limit,
-                              grouped=self.config.solver.incremental)
+                              grouped=self.config.solver.incremental,
+                              sparsify=self.config.sparsify)
         return ExecutionPlan(config, spec, telemetry)
 
     def check_simultaneous(self, paths) -> "SmtResult":

@@ -5,7 +5,9 @@ from repro.pdg.graph import (CallSite, DataEdge, EdgeKind,
 from repro.pdg.builder import build_pdg
 from repro.pdg.callgraph import CallGraph, clone_function, unroll_recursion
 from repro.pdg.slicing import Requirement, Slice, compute_slice
-from repro.pdg.dot import pdg_to_dot
+from repro.pdg.dot import pdg_to_dot, view_to_dot
+from repro.pdg.reduce import (Condensation, SliceIndex, SparsePDGView,
+                              ViewRegistry, build_view)
 from repro.pdg.validate import ValidationReport, validate_pdg
 
 __all__ = [
@@ -13,6 +15,8 @@ __all__ = [
     "build_pdg",
     "CallGraph", "clone_function", "unroll_recursion",
     "Requirement", "Slice", "compute_slice",
-    "pdg_to_dot",
+    "pdg_to_dot", "view_to_dot",
+    "Condensation", "SliceIndex", "SparsePDGView", "ViewRegistry",
+    "build_view",
     "ValidationReport", "validate_pdg",
 ]

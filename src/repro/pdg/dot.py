@@ -45,5 +45,76 @@ def pdg_to_dot(pdg: ProgramDependenceGraph,
     return "\n".join(lines)
 
 
+def view_to_dot(view) -> str:
+    """Render a checker's :class:`~repro.pdg.reduce.SparsePDGView`.
+
+    Kept vertices are grouped per function (the full graph's elided
+    vertices are simply absent); sink edges are red, propagating
+    call/return edges carry their parenthesis labels.  Non-trivial SCCs
+    of the kept subgraph are annotated, and the condensation's bypass
+    stitches are drawn as bold edges labelled with the number of chain
+    members they elide.
+    """
+    pdg = view.pdg
+    shown: set[int] = set(view.region)
+    for entries in (view.kept_entries(v) for v in pdg.vertices):
+        for edge, _ in entries:
+            shown.add(edge.src.index)
+            shown.add(edge.dst.index)
+
+    lines = ["digraph sparse_view {", "  rankdir=BT;",
+             f'  label="{view.checker_name} view: '
+             f'{view.nodes_kept}/{view.nodes_before} nodes, '
+             f'{view.edges_kept}/{view.edges_before} edges";']
+    for function in pdg.functions():
+        members = [v for v in pdg.function_vertices(function)
+                   if v.index in shown]
+        if not members:
+            continue
+        lines.append(f"  subgraph cluster_{function} {{")
+        lines.append(f'    label="{function}";')
+        for vertex in members:
+            attrs = f'label="{_escape(repr(vertex.stmt))}"'
+            if vertex.index in view.observable_indices:
+                attrs += ",style=filled,fillcolor=lightyellow"
+            lines.append(f"    v{vertex.index} [{attrs}];")
+        lines.append("  }")
+
+    for vertex in pdg.vertices:
+        for edge, is_sink in view.kept_entries(vertex):
+            attrs = ""
+            if is_sink:
+                attrs = ' [color=red,penwidth=2]'
+            elif edge.kind in (EdgeKind.CALL, EdgeKind.RETURN):
+                attrs = f' [label="{edge.label()}"]'
+            elif edge.kind is EdgeKind.EXTERN:
+                attrs = ' [style=dotted]'
+            lines.append(
+                f"  v{edge.src.index} -> v{edge.dst.index}{attrs};")
+
+    cond = view.condensation
+    if cond is not None:
+        for comp, members in enumerate(cond.members):
+            if len(members) > 1 and any(m in shown for m in members):
+                anchor = members[0]
+                lines.append(
+                    f'  v{anchor} [xlabel="scc{comp} '
+                    f'({len(members)} members)"];')
+        for comp, entries in enumerate(cond._bypass):
+            if entries is None:
+                continue
+            for target, carried in entries:
+                if not carried:
+                    continue
+                src = cond.members[comp][0]
+                dst = cond.members[target][0]
+                if src in shown and dst in shown:
+                    lines.append(
+                        f"  v{src} -> v{dst} [style=bold,color=gray,"
+                        f'label="bypass {len(carried)}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
 def _escape(text: str) -> str:
     return text.replace('"', '\\"')

@@ -81,8 +81,8 @@ def run_analysis(pdg: ProgramDependenceGraph, checker: Checker,
                  query_records: Optional[list[QueryRecord]] = None,
                  execution: Optional["ExecutionPlan"] = None,
                  triage: Optional["CandidateTriage"] = None,
-                 store: Optional["StoreBinding"] = None
-                 ) -> AnalysisResult:
+                 store: Optional["StoreBinding"] = None,
+                 view=None) -> AnalysisResult:
     budget = budget if budget is not None else Budget()
     budget.restart_clock()
     result = AnalysisResult(engine_name, checker.name)
@@ -99,10 +99,12 @@ def run_analysis(pdg: ProgramDependenceGraph, checker: Checker,
     try:
         if telemetry is not None:
             with telemetry.stage("collect"):
-                candidates = collect_candidates(pdg, checker, sparse_config)
+                candidates = collect_candidates(pdg, checker, sparse_config,
+                                                view=view)
             telemetry.count("candidates", len(candidates))
         else:
-            candidates = collect_candidates(pdg, checker, sparse_config)
+            candidates = collect_candidates(pdg, checker, sparse_config,
+                                            view=view)
         result.candidates = len(candidates)
 
         if store is not None:

@@ -37,21 +37,38 @@ class SparseConfig:
 
 def collect_candidates(pdg: ProgramDependenceGraph, checker: Checker,
                        config: Optional[SparseConfig] = None,
-                       frames: Optional[FrameTable] = None
-                       ) -> list[BugCandidate]:
+                       frames: Optional[FrameTable] = None,
+                       view=None) -> list[BugCandidate]:
     """Run the sparse propagation and return all bug candidates.
 
     Pass a shared ``frames`` table when the caller intends to check
     several paths *simultaneously* (the paper's Example 3.2): frame ids
     are then unique across sources, so paths can be conjoined in a single
     ``ir_based_smt_solve`` query.
+
+    Pass a checker-specific ``view``
+    (:class:`repro.pdg.reduce.SparsePDGView`) to walk the pruned
+    adjacency instead of the full graph: elided sources and edges are
+    exactly those that cannot contribute a candidate *or perturb frame
+    interning* (see the pruning contract in ``repro.pdg.reduce``), so
+    the returned list — candidate order, dedup decisions, and every
+    frame id inside the paths — is byte-identical to the full walk.
+    The view is ignored under a shared ``frames`` table, whose ids must
+    stay unique across *all* sources including elided ones.
     """
     config = config if config is not None else SparseConfig()
     candidates: list[BugCandidate] = []
     per_pair: dict[tuple, int] = {}
     shared_frames = frames
 
-    for source in checker.sources(pdg):
+    if view is not None and shared_frames is None:
+        sources = view.live_sources
+        kept = view.kept_entries
+    else:
+        sources = checker.sources(pdg)
+        kept = None
+
+    for source in sources:
         frames = shared_frames if shared_frames is not None \
             else FrameTable()
         root = frames.root(source.function)
@@ -61,8 +78,17 @@ def collect_candidates(pdg: ProgramDependenceGraph, checker: Checker,
         while stack and len(candidates) < config.max_candidates:
             path = stack.pop()
             step = path.steps[-1]
-            for edge in pdg.data_succs(step.vertex):
-                if checker.is_sink_edge(edge):
+            if kept is not None:
+                entries = kept(step.vertex)
+            else:
+                entries = [(edge, None)
+                           for edge in pdg.data_succs(step.vertex)]
+            for edge, flagged in entries:
+                # ``flagged`` is the view's precomputed classification;
+                # None means full mode — ask the checker, in the same
+                # order the view's classification pass did.
+                if flagged if flagged is not None \
+                        else checker.is_sink_edge(edge):
                     finished = extend_path(path, edge, frames)
                     if finished is None:
                         continue
@@ -72,7 +98,7 @@ def collect_candidates(pdg: ProgramDependenceGraph, checker: Checker,
                         per_pair[candidate.key()] = count + 1
                         candidates.append(candidate)
                     continue
-                if not checker.propagates(edge):
+                if flagged is None and not checker.propagates(edge):
                     continue
                 extended = extend_path(path, edge, frames)
                 if extended is None or len(extended) > config.max_path_len:

@@ -266,7 +266,7 @@ def test_stdio_round_trip_and_concurrent_ping():
 
 
 # ---------------------------------------------------------------------
-# telemetry /6
+# telemetry /7
 
 
 def test_telemetry_serve_section_schema():
@@ -277,7 +277,7 @@ def test_telemetry_serve_section_schema():
                 await rpc(app, "initialize", tenant="t", source=SOURCE)
                 await rpc(app, "analyze", tenant="t")
                 snapshot = (await rpc(app, "telemetry"))["result"]
-                assert snapshot["schema"] == "repro-exec-telemetry/6"
+                assert snapshot["schema"] == "repro-exec-telemetry/7"
                 serve = snapshot["serve"]
                 for key in ("requests", "errors", "rejected",
                             "sessions_alive", "replayed_verdicts",
@@ -290,6 +290,50 @@ def test_telemetry_serve_section_schema():
                 assert serve["p95_latency_s"] >= serve["p50_latency_s"]
                 # Per-request telemetry was folded into the server's.
                 assert snapshot["solver"]["total"] > 0
+                # /7: the sparsification section rides along.
+                reduce = snapshot["reduce"]
+                for key in ("views_built", "view_cache_hits",
+                            "views_remapped", "views_invalidated",
+                            "nodes_kept", "nodes_elided",
+                            "edges_kept", "edges_elided",
+                            "scc_count", "bypass_edges",
+                            "live_sources", "sources_elided"):
+                    assert key in reduce, key
+                assert reduce["views_built"] == 1
+            finally:
+                app.close()
+    run(main())
+
+
+def test_update_drops_only_intersecting_views():
+    """A source edit invalidates only the per-checker views whose
+    footprint intersects the edited function; the rest are remapped
+    onto the new PDG instead of rebuilt (docs/sparsification.md)."""
+    async def main():
+        with tempfile.TemporaryDirectory() as tmp:
+            app = await make_app(tmp)
+            try:
+                await rpc(app, "initialize", tenant="t", source=SOURCE)
+                await rpc(app, "analyze", tenant="t",
+                          checker="null-deref")
+                await rpc(app, "analyze", tenant="t", checker="cwe-23")
+                before = (await rpc(app, "telemetry"))["result"]["reduce"]
+                assert before["views_built"] == 2
+                await rpc(app, "update", tenant="t", function="main",
+                          text=EDITED_MAIN)
+                await rpc(app, "analyze", tenant="t",
+                          checker="null-deref")
+                await rpc(app, "analyze", tenant="t", checker="cwe-23")
+                after = (await rpc(app, "telemetry"))["result"]["reduce"]
+                # The cwe-23 footprint sees no taint in either program
+                # version, so its view rode the edit over a remap; the
+                # null-deref view observes main's deref and had to be
+                # rebuilt.
+                assert after["views_remapped"] == \
+                    before["views_remapped"] + 1
+                assert after["views_invalidated"] == \
+                    before["views_invalidated"] + 1
+                assert after["views_built"] == before["views_built"] + 1
             finally:
                 app.close()
     run(main())
