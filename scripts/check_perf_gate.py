@@ -70,6 +70,28 @@ def fail(message: str) -> None:
     raise SystemExit(1)
 
 
+def load_baseline(path: str, subject: str, checker: str) -> dict:
+    """Read one committed baseline record; any defect (missing file,
+    torn JSON, wrong shape) fails with the exact regeneration command
+    instead of a traceback."""
+    regen = (f"PYTHONPATH=src python -m repro bench --subject {subject} "
+             f"--engine fusion --checker {checker} --incremental "
+             f"--bench-json {os.path.relpath(path)}")
+    try:
+        with open(path) as handle:
+            baseline = json.load(handle)
+        schema = baseline["schema"]
+        baseline["row"]["queries"]  # shape probe: the fields check_row reads
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        fail(f"committed baseline {os.path.relpath(path)} is missing or "
+             f"unreadable ({type(error).__name__}: {error}) — regenerate "
+             f"it with: {regen}")
+    if schema != "repro-bench-incremental/1":
+        fail(f"baseline {os.path.relpath(path)} has unexpected schema "
+             f"{schema!r} — regenerate it with: {regen}")
+    return baseline
+
+
 def run_bench(record_path: str, incremental: bool,
               subject: str = "mcf", checker: str = "null-deref") -> dict:
     flag = "--incremental" if incremental else "--no-incremental"
@@ -95,23 +117,8 @@ def check_row(fresh: dict, baseline: dict, label: str) -> None:
 
 
 def run() -> int:
-    try:
-        with open(BASELINE) as handle:
-            baseline = json.load(handle)
-    except OSError as error:
-        fail(f"cannot read committed baseline {BASELINE!r}: {error}")
-    if baseline["schema"] != "repro-bench-incremental/1":
-        fail(f"baseline has unexpected schema {baseline['schema']!r}")
-
-    try:
-        with open(TAINT_BASELINE) as handle:
-            taint_baseline = json.load(handle)
-    except OSError as error:
-        fail(f"cannot read committed taint baseline {TAINT_BASELINE!r}: "
-             f"{error}")
-    if taint_baseline["schema"] != "repro-bench-incremental/1":
-        fail(f"taint baseline has unexpected schema "
-             f"{taint_baseline['schema']!r}")
+    baseline = load_baseline(BASELINE, "mcf", "null-deref")
+    taint_baseline = load_baseline(TAINT_BASELINE, "ffmpeg", "cwe-23")
 
     with tempfile.TemporaryDirectory() as tmp:
         fresh = run_bench(os.path.join(tmp, "fresh.json"),

@@ -186,9 +186,11 @@ class PinpointEngine:
             # Fault plans need the worker path even at jobs=1 (the
             # injection hooks live in the scheduler's _WorkerState), and
             # so do per-request query timeouts (FaultPolicy overrides
-            # the engine solver's limit only in the worker state).
+            # the engine solver's limit only in the worker state) and
+            # circuit breakers (admission lives in the scheduler).
             if config.effective_jobs > 1 or config.fault_plan is not None \
-                    or config.faults.query_timeout is not None:
+                    or config.faults.query_timeout is not None \
+                    or config.breaker is not None:
                 spec = WorkerSpec(self.pdg, checker, self.config.sparse,
                                   pinpoint_query_factory,
                                   replace(self.config, budget=None),

@@ -129,6 +129,28 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--fault-plan", metavar="SPEC", default=None,
                        help="inject deterministic faults into every "
                             "request (testing/CI only)")
+    serve.add_argument("--journal",
+                       action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="journal every accepted program version "
+                            "under the tenant's store dir so a "
+                            "restarted daemon recovers sessions "
+                            "lazily (--no-journal disables crash "
+                            "recovery; see docs/robustness.md)")
+    serve.add_argument("--breaker-threshold", type=int, default=3,
+                       metavar="K",
+                       help="consecutive failures per (checker, sink) "
+                            "group before the poison-group circuit "
+                            "breaker opens; 0 disables (default 3)")
+    serve.add_argument("--breaker-cooldown", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="seconds an open group waits before one "
+                            "half-open probe query (default 30)")
+    serve.add_argument("--watchdog-interval", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="worker-pool probe period; a probe that "
+                            "cannot run within one period rebuilds "
+                            "the executor; 0 disables (default 10)")
 
     pdg = sub.add_parser(
         "pdg",
@@ -352,9 +374,16 @@ def _make_store(args: argparse.Namespace):
     cache, so the store silently stays off there."""
     if args.cache_dir is None or args.no_store or args.engine == "infer":
         return None
-    from repro.exec import ArtifactStore
+    from repro.exec import ArtifactStore, FaultPlan
 
-    return ArtifactStore(args.cache_dir, label=args.subject)
+    fault_plan = None
+    if getattr(args, "fault_plan", None):
+        try:
+            fault_plan = FaultPlan.parse(args.fault_plan)
+        except ValueError:
+            fault_plan = None  # _exec_options already reported it
+    return ArtifactStore(args.cache_dir, label=args.subject,
+                         fault_plan=fault_plan)
 
 
 def _write_telemetry(args: argparse.Namespace, telemetry) -> bool:
@@ -502,7 +531,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         jobs=args.jobs, backend=args.backend,
         cache_root=args.cache_root,
         default_deadline=args.default_deadline,
-        fault_plan=fault_plan)
+        fault_plan=fault_plan,
+        journal=args.journal,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        watchdog_interval=args.watchdog_interval)
     try:
         if args.stdio:
             asyncio.run(run_stdio(config))

@@ -139,6 +139,32 @@ class EngineSettings:
         return LoweringConfig(loop_unroll=self.loop_unroll,
                               width=self.width)
 
+    def to_payload(self) -> dict:
+        """JSON-safe field dict (the serve session journal persists it,
+        so a recovered session analyses under the exact settings the
+        original ran with)."""
+        from dataclasses import asdict
+
+        return asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "EngineSettings":
+        """Inverse of :meth:`to_payload`; raises ``ValueError`` on
+        unknown fields or an unknown engine, so a journal written by an
+        incompatible version refuses to rehydrate instead of silently
+        changing behavior."""
+        from dataclasses import fields
+
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown EngineSettings fields {sorted(unknown)!r}")
+        settings = cls(**payload)
+        if settings.engine not in ENGINE_CHOICES:
+            raise ValueError(f"unknown engine {settings.engine!r}")
+        return settings
+
 
 class AnalysisSession:
     """One program's hot analysis state (see module docstring).

@@ -2,9 +2,11 @@
 fault tolerance, and analysis telemetry (see ``docs/parallelism.md``
 and ``docs/robustness.md``)."""
 
+from repro.exec.breaker import CircuitBreaker
 from repro.exec.cache import CacheStats, SliceCache, path_fingerprint
 from repro.exec.faults import (FaultPlan, FaultPolicy, InjectedFault,
-                               InjectedQueryError, WorkerCrash)
+                               InjectedQueryError, WorkerCrash,
+                               backoff_delay)
 from repro.exec.scheduler import (BACKENDS, ExecConfig, ExecutionPlan,
                                   QueryOutcome, QueryScheduler, WorkerSpec)
 from repro.exec.store import (STORE_SCHEMA, ArtifactStore, StoreBinding,
@@ -14,8 +16,9 @@ from repro.exec.telemetry import Telemetry
 
 __all__ = [
     "CacheStats", "SliceCache", "path_fingerprint",
+    "CircuitBreaker",
     "FaultPlan", "FaultPolicy", "InjectedFault", "InjectedQueryError",
-    "WorkerCrash",
+    "WorkerCrash", "backoff_delay",
     "BACKENDS", "ExecConfig", "ExecutionPlan", "QueryOutcome",
     "QueryScheduler", "WorkerSpec",
     "ArtifactStore", "StoreBinding", "StoreRunStats", "STORE_SCHEMA",

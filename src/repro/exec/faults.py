@@ -22,10 +22,20 @@ Fault kinds (see ``docs/robustness.md``):
   ``crash_times`` bounds how many attempts of batch ``N`` die, so requeue
   tests can prove recovery while ``crash_times`` larger than the retry
   budget exercises the full degradation ladder.
+* **store EIO on read/write op N** — the artifact store's Nth read (or
+  write) raises ``OSError(EIO)``; the store must degrade it to a counted
+  miss (or skipped persist), never a crash.
+* **torn write / bit flip on store write N** — the Nth persisted payload
+  is truncated halfway (a torn write) or has one bit flipped before it
+  reaches disk; checksum verification must quarantine it on next read.
+* **client disconnect on response N** — the HTTP front end truncates its
+  Nth response body and drops the connection, simulating a client that
+  went away mid-response; the daemon must survive and keep serving.
 """
 
 from __future__ import annotations
 
+import errno
 import os
 import random
 import signal
@@ -68,14 +78,38 @@ class FaultPolicy:
     #: ladder level after worker death, and re-executions of a batch
     #: that raised, before its queries are synthesized as UNKNOWN.
     max_retries: int = 2
-    #: Base backoff before a retry; scaled linearly by the attempt count.
+    #: Base backoff before the first retry; doubled per attempt (capped
+    #: at :attr:`retry_backoff_cap`) with deterministic seeded jitter —
+    #: see :func:`backoff_delay`.
     retry_backoff: float = 0.05
+    #: Ceiling on a single backoff sleep, so deep retry ladders cannot
+    #: stall a request for seconds.
+    retry_backoff_cap: float = 2.0
+    #: Seed folded into the jitter hash; fixed by default so fault-
+    #: injection tests reproduce their exact sleep schedule.
+    backoff_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.on_error not in ("unknown", "abort"):
             raise ValueError(
                 f"on_error must be 'unknown' or 'abort', "
                 f"got {self.on_error!r}")
+
+
+def backoff_delay(policy: FaultPolicy, attempt: int, token: int = 0) -> float:
+    """Capped exponential backoff with deterministic seeded jitter.
+
+    ``attempt`` 0 sleeps around ``retry_backoff``, doubling per attempt
+    up to ``retry_backoff_cap``.  The jitter factor (uniform in
+    [0.5, 1.0]) is drawn from a PRNG seeded by ``(backoff_seed, token,
+    attempt)`` — so concurrent retriers with distinct tokens (batch
+    ordinals, ladder levels) de-synchronize instead of thundering-herd
+    onto the pool, while the same run replays the same schedule.
+    """
+    base = policy.retry_backoff * (2 ** max(0, attempt))
+    capped = min(policy.retry_backoff_cap, base)
+    rng = random.Random(f"{policy.backoff_seed}:{token}:{attempt}")
+    return capped * (0.5 + 0.5 * rng.random())
 
 
 @dataclass(frozen=True)
@@ -94,11 +128,25 @@ class FaultPlan:
     crash_on_batch: frozenset[int] = frozenset()
     #: How many attempts of a crash-faulted batch die before it succeeds.
     crash_times: int = 1
+    #: Store read ordinals (per :class:`~repro.exec.store.ArtifactStore`
+    #: instance, in op order) that raise ``OSError(EIO)``.
+    store_read_eio: frozenset[int] = frozenset()
+    #: Store write ordinals that raise ``OSError(EIO)``.
+    store_write_eio: frozenset[int] = frozenset()
+    #: Store write ordinals whose payload is truncated halfway (torn).
+    torn_write_on: frozenset[int] = frozenset()
+    #: Store write ordinals whose payload has one bit flipped.
+    bit_flip_on: frozenset[int] = frozenset()
+    #: HTTP response ordinals (per daemon, in response order) that are
+    #: truncated and dropped mid-send.
+    client_disconnect_on: frozenset[int] = frozenset()
 
     @property
     def is_empty(self) -> bool:
         return not (self.raise_on_query or self.delay_on_query
-                    or self.crash_on_batch)
+                    or self.crash_on_batch or self.store_read_eio
+                    or self.store_write_eio or self.torn_write_on
+                    or self.bit_flip_on or self.client_disconnect_on)
 
     # ------------------------------------------------------------------ #
     # Injection hooks (called from worker code)
@@ -135,6 +183,32 @@ class FaultPlan:
         if index in self.raise_on_query:
             raise InjectedQueryError(f"injected fault in query {index}")
 
+    def apply_store_read(self, ordinal: int) -> None:
+        """Raise ``OSError(EIO)`` if store read ``ordinal`` is faulted."""
+        if ordinal in self.store_read_eio:
+            raise OSError(errno.EIO,
+                          f"injected EIO on store read {ordinal}")
+
+    def apply_store_write(self, ordinal: int) -> None:
+        """Raise ``OSError(EIO)`` if store write ``ordinal`` is faulted."""
+        if ordinal in self.store_write_eio:
+            raise OSError(errno.EIO,
+                          f"injected EIO on store write {ordinal}")
+
+    def mangle_store_write(self, ordinal: int, body: bytes) -> bytes:
+        """Corrupt the payload of store write ``ordinal`` if planned."""
+        if ordinal in self.torn_write_on:
+            return body[:max(1, len(body) // 2)]
+        if ordinal in self.bit_flip_on and body:
+            mangled = bytearray(body)
+            mangled[len(mangled) // 2] ^= 0x01
+            return bytes(mangled)
+        return body
+
+    def drops_response(self, ordinal: int) -> bool:
+        """Whether HTTP response ``ordinal`` is cut off mid-send."""
+        return ordinal in self.client_disconnect_on
+
     # ------------------------------------------------------------------ #
     # Construction helpers
     # ------------------------------------------------------------------ #
@@ -145,14 +219,20 @@ class FaultPlan:
 
         Semicolon-separated clauses: ``raise=I[,I...]``,
         ``delay=I:SECONDS[,I:SECONDS...]``, ``crash=N[,N...]``,
-        ``crash-times=K``.  Example::
+        ``crash-times=K``, ``store-eio-read=N[,N...]``,
+        ``store-eio-write=N[,N...]``, ``torn-write=N[,N...]``,
+        ``bit-flip=N[,N...]``, ``disconnect=N[,N...]``.  Example::
 
-            raise=3,7;delay=0:0.5;crash=1;crash-times=2
+            raise=3,7;delay=0:0.5;crash=1;crash-times=2;torn-write=0
         """
         raises: set[int] = set()
         delays: dict[int, float] = {}
         crashes: set[int] = set()
         crash_times = 1
+        sets: dict[str, set[int]] = {
+            "store-eio-read": set(), "store-eio-write": set(),
+            "torn-write": set(), "bit-flip": set(), "disconnect": set(),
+        }
         for clause in spec.split(";"):
             clause = clause.strip()
             if not clause:
@@ -172,6 +252,8 @@ class FaultPlan:
                     crashes.update(int(i) for i in value.split(","))
                 elif key == "crash-times":
                     crash_times = int(value)
+                elif key in sets:
+                    sets[key].update(int(i) for i in value.split(","))
                 else:
                     raise ValueError(f"unknown fault kind {key!r}")
             except ValueError as error:
@@ -180,16 +262,25 @@ class FaultPlan:
                 raise ValueError(
                     f"malformed fault clause {clause!r}") from error
         return cls(frozenset(raises), delays, frozenset(crashes),
-                   crash_times)
+                   crash_times,
+                   store_read_eio=frozenset(sets["store-eio-read"]),
+                   store_write_eio=frozenset(sets["store-eio-write"]),
+                   torn_write_on=frozenset(sets["torn-write"]),
+                   bit_flip_on=frozenset(sets["bit-flip"]),
+                   client_disconnect_on=frozenset(sets["disconnect"]))
 
     @classmethod
     def seeded(cls, seed: int, num_queries: int, num_batches: int = 0,
                raise_fraction: float = 0.25,
-               crash_batches: int = 1) -> "FaultPlan":
+               crash_batches: int = 1,
+               store_ops: int = 0) -> "FaultPlan":
         """A reproducible plan over a run of known size.
 
-        The same ``(seed, num_queries, num_batches)`` always yields the
-        same plan, so a CI matrix entry can name its faults by seed.
+        The same ``(seed, num_queries, num_batches, store_ops)`` always
+        yields the same plan, so a CI matrix entry can name its faults
+        by seed.  ``store_ops`` > 0 additionally samples store-I/O
+        faults (one read EIO, one torn write, one bit flip) over that
+        many store operations.
         """
         rng = random.Random(seed)
         count = max(1, int(num_queries * raise_fraction))
@@ -199,7 +290,16 @@ class FaultPlan:
         if num_batches > 0 and crash_batches > 0:
             crashes = frozenset(rng.sample(range(num_batches),
                                            min(crash_batches, num_batches)))
-        return cls(raise_on_query=raises, crash_on_batch=crashes)
+        read_eio: frozenset[int] = frozenset()
+        torn: frozenset[int] = frozenset()
+        flips: frozenset[int] = frozenset()
+        if store_ops > 0:
+            read_eio = frozenset({rng.randrange(store_ops)})
+            torn = frozenset({rng.randrange(store_ops)})
+            flips = frozenset({rng.randrange(store_ops)}) - torn
+        return cls(raise_on_query=raises, crash_on_batch=crashes,
+                   store_read_eio=read_eio, torn_write_on=torn,
+                   bit_flip_on=flips)
 
     def describe(self) -> str:
         parts = []
@@ -213,4 +313,12 @@ class FaultPlan:
             parts.append("crash=" + ",".join(
                 str(i) for i in sorted(self.crash_on_batch)))
             parts.append(f"crash-times={self.crash_times}")
+        for name, members in (("store-eio-read", self.store_read_eio),
+                              ("store-eio-write", self.store_write_eio),
+                              ("torn-write", self.torn_write_on),
+                              ("bit-flip", self.bit_flip_on),
+                              ("disconnect", self.client_disconnect_on)):
+            if members:
+                parts.append(name + "=" + ",".join(
+                    str(i) for i in sorted(members)))
         return ";".join(parts) if parts else "<empty>"

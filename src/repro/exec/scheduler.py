@@ -65,8 +65,9 @@ from dataclasses import dataclass, field, replace
 from typing import Callable, Optional, Sequence
 
 from repro.checkers.base import BugCandidate, Checker
+from repro.exec.breaker import CircuitBreaker
 from repro.exec.cache import SliceCache
-from repro.exec.faults import FaultPlan, FaultPolicy
+from repro.exec.faults import FaultPlan, FaultPolicy, backoff_delay
 from repro.exec.telemetry import Telemetry
 from repro.limits import (Budget, Deadline, QueryDeadlineExceeded,
                           ResourceExceeded)
@@ -106,6 +107,10 @@ class ExecConfig:
     faults: FaultPolicy = field(default_factory=FaultPolicy)
     #: Deterministic fault injection (tests/CI only; None = no faults).
     fault_plan: Optional[FaultPlan] = None
+    #: Poison-group circuit breaker, owned by the session lifetime (the
+    #: serve daemon keeps one per tenant).  Never pickled: the scheduler
+    #: consults it only in the parent process.
+    breaker: Optional[CircuitBreaker] = None
 
     def resolved_backend(self) -> str:
         if self.backend == "auto":
@@ -177,6 +182,10 @@ class QueryOutcome:
     #: True when the per-query deadline expired outside the SAT search
     #: (slicing/transform/injected delay) and the query was cut short.
     timed_out: bool = False
+    #: True when the circuit breaker short-circuited this query without
+    #: dispatching it (the ``error`` carries the breaker metadata); such
+    #: outcomes cost no worker time and are excluded from solver stats.
+    short_circuited: bool = False
     #: SAT clause-database size when this query's search ran (0 when
     #: preprocessing decided it); feeds the bench per-query columns.
     sat_clauses: int = 0
@@ -394,6 +403,9 @@ class QueryScheduler:
         self.config = config
         self.telemetry = telemetry
         self.budget = budget
+        #: index -> group_key, populated per run when a breaker is set;
+        #: failure/success events are attributed to groups through it.
+        self._breaker_groups: Optional[dict[int, tuple]] = None
 
     def run(self, candidates: list[BugCandidate],
             sink: Optional[list[QueryOutcome]] = None,
@@ -415,6 +427,10 @@ class QueryScheduler:
         index_list = (list(range(len(candidates))) if indices is None
                       else list(indices))
         if not index_list:
+            return outcomes
+        index_list = self._admit_groups(index_list, candidates, outcomes)
+        if not index_list:
+            outcomes.sort(key=lambda outcome: outcome.index)
             return outcomes
         jobs = min(self.config.effective_jobs, len(index_list))
         backend = self.config.resolved_backend()
@@ -444,8 +460,64 @@ class QueryScheduler:
             remaining = self._run_level(level, candidates, remaining,
                                         outcomes, jobs, run_deadline)
         assert not remaining, "inline execution left batches behind"
+        if self.config.breaker is not None:
+            self._record_breaker(open_groups=self.config.breaker
+                                 .open_count())
         outcomes.sort(key=lambda outcome: outcome.index)
         return outcomes
+
+    # -- circuit breaker ------------------------------------------------- #
+
+    def _admit_groups(self, index_list: list[int],
+                      candidates: list[BugCandidate],
+                      outcomes: list[QueryOutcome]) -> list[int]:
+        """Consult the breaker once per candidate group: open groups are
+        short-circuited up front (UNKNOWN outcomes carrying the breaker
+        metadata, zero worker time); the rest dispatch normally."""
+        breaker = self.config.breaker
+        if breaker is None:
+            self._breaker_groups = None
+            return index_list
+        group_of = {index: candidates[index].group_key()
+                    for index in index_list}
+        self._breaker_groups = group_of
+        decisions: dict[tuple, bool] = {}
+        allowed: list[int] = []
+        blocked: list[int] = []
+        for index in index_list:
+            group = group_of[index]
+            if group not in decisions:
+                admitted, probe = breaker.admit(group)
+                decisions[group] = admitted
+                if probe:
+                    self._record_breaker(probes=1)
+            (allowed if decisions[group] else blocked).append(index)
+        if blocked:
+            self._record_breaker(short_circuits=len(blocked))
+            self._absorb(
+                [QueryOutcome(index, SmtStatus.UNKNOWN, False, 0.0, 0,
+                              {}, 0, 0,
+                              error=breaker.describe(group_of[index]),
+                              short_circuited=True)
+                 for index in blocked],
+                outcomes)
+        return allowed
+
+    def _breaker_batch_failure(self, batch: _Batch) -> None:
+        """Attribute one failure event to every group in a batch that
+        crashed its worker or was lost to pool death."""
+        breaker = self.config.breaker
+        if breaker is None or self._breaker_groups is None:
+            return
+        groups = {self._breaker_groups[index] for index in batch.indices
+                  if index in self._breaker_groups}
+        for group in sorted(groups):
+            if breaker.record_failure(group):
+                self._record_breaker(trips=1)
+
+    def _record_breaker(self, **counts: int) -> None:
+        if self.telemetry is not None:
+            self.telemetry.record_breaker(**counts)
 
     # -- partitioning --------------------------------------------------- #
 
@@ -605,9 +677,13 @@ class QueryScheduler:
             rebuilds += 1
             self._record_fault("pool_rebuilds")
             self._record_fault("requeued_batches", len(lost))
+            for batch in lost:
+                self._breaker_batch_failure(batch)
             if rebuilds > policy.max_retries:
                 return lost
-            time.sleep(policy.retry_backoff * rebuilds)
+            # Token -1 keys the rebuild jitter stream apart from the
+            # per-batch retry streams.
+            time.sleep(backoff_delay(policy, rebuilds - 1, token=-1))
             todo = [batch.bumped() for batch in lost]
         return []
 
@@ -691,7 +767,8 @@ class QueryScheduler:
         if batch.attempt >= self.config.faults.max_retries:
             return None
         self._record_fault("batch_retries")
-        time.sleep(self.config.faults.retry_backoff * (batch.attempt + 1))
+        time.sleep(backoff_delay(self.config.faults, batch.attempt,
+                                 token=batch.ordinal))
         return batch.bumped()
 
     def _synthesize(self, batch: _Batch, error: BaseException,
@@ -710,6 +787,10 @@ class QueryScheduler:
         outcomes.extend(batch)
         if self.telemetry is not None:
             for outcome in batch:
+                if outcome.short_circuited:
+                    # Never dispatched: no solver work, no fault — the
+                    # breaker section already counted the short-circuit.
+                    continue
                 self.telemetry.record_query(
                     outcome.status, outcome.seconds,
                     outcome.decided_in_preprocess, outcome.condition_nodes)
@@ -719,6 +800,19 @@ class QueryScheduler:
                     self.telemetry.record_fault("query_timeouts")
                 elif outcome.error is not None:
                     self.telemetry.record_fault("query_errors")
+        breaker = self.config.breaker
+        if breaker is not None and self._breaker_groups is not None:
+            for outcome in batch:
+                if outcome.short_circuited:
+                    continue
+                group = self._breaker_groups.get(outcome.index)
+                if group is None:
+                    continue
+                if outcome.timed_out or outcome.error is not None:
+                    if breaker.record_failure(group):
+                        self._record_breaker(trips=1)
+                elif breaker.record_success(group):
+                    self._record_breaker(recoveries=1)
         if self.budget is not None:
             for outcome in batch:
                 self.budget.check_memory(outcome.memory_units)

@@ -50,10 +50,16 @@ the stale summary).  The dirty set is reported through telemetry
 the per-entry dependency records, so correctness never rests on the
 call-graph propagation.
 
-Corruption policy: any unreadable, unparsable, or version-mismatched
-file — entries, function records, metadata — is treated as a cache
-miss, never an error.  The store is a pure accelerator; deleting it (or
-any subset of it) is always safe.
+Corruption policy: every persisted payload carries a sha256 checksum
+verified on read.  A file that is torn, truncated, bit-flipped, or
+otherwise fails to parse is moved to a ``quarantine/`` subdirectory
+(counted, never silently reused, never re-read) and the read degrades
+to a cache miss.  A version-mismatched file is an orphan from an older
+layout, not corruption: it misses without being quarantined.  An
+``OSError`` on read or write (e.g. EIO) is counted and degrades to a
+miss / skipped persist.  The store is a pure accelerator; deleting it
+(or any subset of it) is always safe, and no store fault may ever crash
+the analysis or change a verdict.
 """
 
 from __future__ import annotations
@@ -61,6 +67,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
@@ -73,11 +80,13 @@ from repro.pdg.slicing import compute_slice
 from repro.smt.solver import SmtStatus
 
 if TYPE_CHECKING:
+    from repro.exec.faults import FaultPlan
     from repro.exec.telemetry import Telemetry
 
 #: Store layout version; embedded in every entry and in the config
 #: fingerprint, so a layout change orphans (never misreads) old entries.
-STORE_SCHEMA = "repro-exec-store/1"
+#: /2 added the per-payload ``sha256`` checksum verified on read.
+STORE_SCHEMA = "repro-exec-store/2"
 
 
 def _sha(payload: str) -> str:
@@ -99,6 +108,9 @@ class StoreRunStats:
     invalidations: int = 0            # entries present but stale deps
     replayed_verdicts: int = 0        # == hits (kept for schema clarity)
     committed: int = 0                # entries written this run
+    corrupt_entries: int = 0          # checksum/parse failures this run
+    quarantined: int = 0              # files moved to quarantine/ this run
+    io_errors: int = 0                # OSErrors on read/write this run
     changed_functions: set[str] = field(default_factory=set)
     dirty_functions: set[str] = field(default_factory=set)
 
@@ -114,13 +126,25 @@ class ArtifactStore:
     subject name).
     """
 
-    def __init__(self, root: str, label: str = "default") -> None:
+    def __init__(self, root: str, label: str = "default",
+                 fault_plan: Optional["FaultPlan"] = None) -> None:
         self.root = root
         self.label = label
+        #: Optional fault plan driving the store-I/O injection sites;
+        #: read/write ordinals count per store instance, in op order.
+        self.fault_plan = fault_plan
         #: Stats of the most recent bound run (diagnostics/tests).
         self.last_run: Optional[StoreRunStats] = None
+        self._io_lock = threading.Lock()
+        self._read_ops = 0
+        self._write_ops = 0
+        #: Lifetime integrity counters (see telemetry's ``store`` keys).
+        self.integrity: dict[str, int] = {
+            "corrupt_entries": 0, "quarantined": 0,
+            "read_errors": 0, "write_errors": 0,
+        }
 
-    # -- filesystem primitives (corruption == miss) --------------------- #
+    # -- filesystem primitives (corruption == quarantined miss) --------- #
 
     def _object_path(self, key: str) -> str:
         return os.path.join(self.root, "objects", key[:2], f"{key}.json")
@@ -129,24 +153,101 @@ class ArtifactStore:
         name = _sha(f"{self.label}\n{config_key}")[:32]
         return os.path.join(self.root, "state", f"{name}.json")
 
-    def _read_json(self, path: str) -> Optional[dict]:
+    def _count(self, key: str, amount: int = 1) -> None:
+        with self._io_lock:
+            self.integrity[key] += amount
+
+    def _next_op(self, kind: str) -> int:
+        with self._io_lock:
+            if kind == "read":
+                ordinal, self._read_ops = self._read_ops, self._read_ops + 1
+            else:
+                ordinal, self._write_ops = (self._write_ops,
+                                            self._write_ops + 1)
+            return ordinal
+
+    def integrity_snapshot(self) -> dict[str, int]:
+        with self._io_lock:
+            return dict(self.integrity)
+
+    def _quarantine(self, path: str) -> None:
+        """Move a corrupt file out of the lookup path, permanently.
+
+        Quarantined files keep their basename under ``quarantine/`` so
+        operators can inspect them, but no read path ever consults that
+        directory — a corrupt payload can never be served again.
+        """
         try:
-            with open(path) as handle:
-                payload = json.load(handle)
-        except (OSError, ValueError):
+            directory = os.path.join(self.root, "quarantine")
+            os.makedirs(directory, exist_ok=True)
+            os.replace(path, os.path.join(directory,
+                                          os.path.basename(path)))
+            quarantined = 1
+        except OSError:
+            # Even the move failing must not crash; try to unlink so the
+            # corrupt payload is at least never re-read as valid.
+            quarantined = 0
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+        with self._io_lock:
+            self.integrity["corrupt_entries"] += 1
+            self.integrity["quarantined"] += quarantined
+
+    def _read_json(self, path: str) -> Optional[dict]:
+        """Checksum-verified read; every failure degrades to ``None``.
+
+        Missing file -> plain miss.  ``OSError`` (EIO) -> counted read
+        error, miss.  Unparsable payload, non-dict payload, or checksum
+        mismatch -> quarantined, counted, miss.
+        """
+        ordinal = self._next_op("read")
+        try:
+            if self.fault_plan is not None:
+                self.fault_plan.apply_store_read(ordinal)
+            with open(path, "rb") as handle:
+                raw = handle.read()
+        except FileNotFoundError:
             return None
-        return payload if isinstance(payload, dict) else None
+        except OSError:
+            self._count("read_errors")
+            return None
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            self._quarantine(path)
+            return None
+        if not isinstance(payload, dict):
+            self._quarantine(path)
+            return None
+        recorded = payload.pop("sha256", None)
+        if recorded != _sha(_canonical(payload)):
+            self._quarantine(path)
+            return None
+        return payload
 
     def _write_json(self, path: str, payload: dict) -> None:
-        """Atomic best-effort write; failures degrade to a future miss."""
+        """Atomic, checksummed, fsynced write; failures degrade to a
+        future miss (counted, never raised)."""
+        ordinal = self._next_op("write")
+        body = _canonical(dict(payload,
+                               sha256=_sha(_canonical(payload))))
+        data = body.encode("utf-8")
+        if self.fault_plan is not None:
+            data = self.fault_plan.mangle_store_write(ordinal, data)
         try:
+            if self.fault_plan is not None:
+                self.fault_plan.apply_store_write(ordinal)
             os.makedirs(os.path.dirname(path), exist_ok=True)
             tmp = f"{path}.tmp.{os.getpid()}"
-            with open(tmp, "w") as handle:
-                json.dump(payload, handle, sort_keys=True)
+            with open(tmp, "wb") as handle:
+                handle.write(data)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(tmp, path)
         except OSError:
-            pass
+            self._count("write_errors")
 
     def read_entry(self, key: str) -> Optional[dict]:
         entry = self._read_json(self._object_path(key))
@@ -199,6 +300,7 @@ class StoreBinding:
         self.checker = checker
         self.telemetry = telemetry
         self.stats = StoreRunStats()
+        self._integrity_base = store.integrity_snapshot()
         self.config_key = _sha(_canonical(dict(
             fingerprint, store_schema=STORE_SCHEMA,
             fingerprint_version=FINGERPRINT_VERSION)))
@@ -442,10 +544,21 @@ class StoreBinding:
             name: {"content": self._content[name],
                    "interface": self._interface[name]}
             for name in sorted(self._content)})
+        current = self.store.integrity_snapshot()
+        base = self._integrity_base
+        self.stats.corrupt_entries = (current["corrupt_entries"]
+                                      - base["corrupt_entries"])
+        self.stats.quarantined = current["quarantined"] - base["quarantined"]
+        self.stats.io_errors = (
+            (current["read_errors"] - base["read_errors"])
+            + (current["write_errors"] - base["write_errors"]))
         if self.telemetry is not None:
             self.telemetry.record_store(
                 store_hits=self.stats.hits,
                 store_misses=self.stats.misses,
                 store_invalidations=self.stats.invalidations,
                 dirty_functions=len(self.stats.dirty_functions),
-                replayed_verdicts=self.stats.replayed_verdicts)
+                replayed_verdicts=self.stats.replayed_verdicts,
+                corrupt_entries=self.stats.corrupt_entries,
+                quarantined=self.stats.quarantined,
+                io_errors=self.stats.io_errors)

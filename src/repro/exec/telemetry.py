@@ -40,7 +40,13 @@ from repro.smt.solver import SmtStatus
 #: views built/cached/remapped/invalidated, per-checker nodes and edges
 #: kept vs elided, SCC counts, bypass-edge stitches, elided sources,
 #: view (re)build seconds).
-SCHEMA = "repro-exec-telemetry/7"
+#: /8 added the "breaker" section (poison-group circuit breaker: trips,
+#: short-circuited queries, half-open probes, recoveries, open groups),
+#: store integrity counters (corrupt_entries, quarantined, io_errors)
+#: and serve crash-recovery counters (sessions_recovered, clean vs
+#: crash recoveries, journal records/compactions, watchdog rebuilds,
+#: client disconnects).
+SCHEMA = "repro-exec-telemetry/8"
 
 #: Request-latency samples kept for the percentile estimates; the serve
 #: soak keeps a daemon alive indefinitely, so the window is bounded
@@ -76,6 +82,9 @@ class Telemetry:
             "store_invalidations": 0,  # entries present but stale
             "dirty_functions": 0,      # size of this run's dirty set
             "replayed_verdicts": 0,    # reports served without any solve
+            "corrupt_entries": 0,      # payloads failing checksum/parse
+            "quarantined": 0,          # corrupt files moved to quarantine/
+            "io_errors": 0,            # OSError on store read or write
         }
         self.incremental: dict[str, int] = {
             "sessions": 0,           # solver sessions opened
@@ -92,6 +101,20 @@ class Telemetry:
             "replayed_verdicts": 0,  # verdicts served from the warm store
             "queue_depth": 0,        # admitted requests in flight right now
             "queue_peak": 0,         # high-water mark of queue_depth
+            "sessions_recovered": 0, # sessions rehydrated from the journal
+            "recoveries_clean": 0,   # ... after a clean (drained) shutdown
+            "recoveries_crash": 0,   # ... after a crash (no clean marker)
+            "journal_records": 0,    # session-journal records appended
+            "journal_compactions": 0,  # journal rewrites (append overflow)
+            "watchdog_rebuilds": 0,  # executors replaced by the watchdog
+            "client_disconnects": 0, # responses cut off mid-send
+        }
+        self.breaker: dict[str, int] = {
+            "trips": 0,           # closed -> open transitions
+            "short_circuits": 0,  # queries synthesized while a group is open
+            "probes": 0,          # half-open trial dispatches
+            "recoveries": 0,      # half-open -> closed transitions
+            "open_groups": 0,     # groups currently open (gauge)
         }
         self.reduce: dict[str, float] = {
             "views_built": 0,        # pruned views constructed from scratch
@@ -210,6 +233,16 @@ class Telemetry:
             for key, amount in counts.items():
                 self.reduce[key] = self.reduce.get(key, 0) + amount
 
+    def record_breaker(self, **counts: int) -> None:
+        """Accumulate circuit-breaker counters (see the ``breaker`` keys);
+        ``open_groups`` is a gauge and is *set*, not accumulated."""
+        with self._lock:
+            for key, amount in counts.items():
+                if key == "open_groups":
+                    self.breaker[key] = amount
+                else:
+                    self.breaker[key] = self.breaker.get(key, 0) + amount
+
     def record_fault(self, kind: str, amount: int = 1) -> None:
         """One fault-tolerance event (see the ``faults`` section keys)."""
         with self._lock:
@@ -278,6 +311,11 @@ class Telemetry:
                                   ("faults", self.faults)):
                 for key, value in snapshot[section].items():
                     mine[key] = mine.get(key, 0) + value
+            for key, value in snapshot.get("breaker", {}).items():
+                if key == "open_groups":
+                    # Gauge owned by the daemon's sync pass, not additive.
+                    continue
+                self.breaker[key] = self.breaker.get(key, 0) + value
             self.wall_seconds += snapshot["wall_seconds"]
 
     def record_memory(self, units: int, condition_units: int = 0) -> None:
@@ -328,6 +366,7 @@ class Telemetry:
                 "incremental": dict(self.incremental),
                 "reduce": dict(self.reduce),
                 "serve": serve,
+                "breaker": dict(self.breaker),
                 "faults": dict(self.faults),
             }
 

@@ -258,9 +258,11 @@ class FusionEngine:
         # machinery.  A per-request query timeout (FaultPolicy) takes
         # the same route — the worker state is where it overrides the
         # engine solver's own limit (the serve daemon's per-request
-        # deadlines rely on this at jobs=1).
+        # deadlines rely on this at jobs=1).  A circuit breaker does
+        # too: admission and short-circuiting live in the scheduler.
         if config.effective_jobs > 1 or config.fault_plan is not None \
-                or config.faults.query_timeout is not None:
+                or config.faults.query_timeout is not None \
+                or config.breaker is not None:
             # Workers cannot observe the whole run's clock; the
             # completion loop enforces the budget at batch granularity.
             spec = WorkerSpec(self.pdg, checker, self.config.sparse,

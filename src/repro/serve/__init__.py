@@ -9,6 +9,8 @@ re-decides only the verdicts the edit invalidated.
 
 from repro.serve.admission import AdmissionQueue
 from repro.serve.app import ServeApp, ServeConfig, run_http, run_stdio
+from repro.serve.journal import (JOURNAL_SCHEMA, JournalState,
+                                 SessionJournal)
 from repro.serve.protocol import (COMPILE_ERROR, INTERNAL_ERROR,
                                   INVALID_PARAMS, INVALID_REQUEST,
                                   METHOD_NOT_FOUND, OVERLOADED,
@@ -26,4 +28,5 @@ __all__ = [
     "INVALID_PARAMS", "INTERNAL_ERROR", "UNKNOWN_TENANT",
     "COMPILE_ERROR", "OVERLOADED", "SHUTTING_DOWN",
     "TenantRegistry", "TenantSession", "splice_function",
+    "SessionJournal", "JournalState", "JOURNAL_SCHEMA",
 ]

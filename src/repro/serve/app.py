@@ -28,6 +28,21 @@ Request lifecycle for the heavy methods (``initialize`` / ``update`` /
 ``shutdown`` flips the draining flag (new heavy work → 503), waits for
 every admitted request to finish, and only then answers — in-flight
 jobs are never dropped (pinned by tests/test_serve.py).
+
+Crash-only additions (docs/robustness.md):
+
+* session journaling + lazy recovery live in the registry; the app's
+  part is marking a *clean* shutdown after the drain, so a restart can
+  tell a deploy from a crash;
+* ``GET /healthz`` (liveness) and ``GET /readyz`` (readiness: not
+  draining, executor not mid-rebuild, admission below its bound) plus a
+  light ``health`` RPC method;
+* a watchdog thread probes the worker pool and rebuilds it when a
+  probe wedges — a hung executor degrades to one rebuilt pool, not a
+  daemon that accepts work it can never finish;
+* the client-disconnect fault site truncates an HTTP response
+  mid-write (soak suite; the daemon must shrug, count, and keep
+  serving).
 """
 
 from __future__ import annotations
@@ -36,6 +51,7 @@ import asyncio
 import json
 import sys
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Optional
@@ -80,10 +96,24 @@ class ServeConfig:
     #: ``deadline_s`` param overrides it.
     default_deadline: Optional[float] = None
     #: Deterministic fault injection for the soak suite (see
-    #: docs/robustness.md); applied to every analyze request.
+    #: docs/robustness.md); applied to every analyze request, to every
+    #: tenant store's I/O, and to HTTP response writes.
     fault_plan: Optional[FaultPlan] = None
     #: Default checker when an analyze request names none.
     checker: str = "null-deref"
+    #: Journal every accepted program version for crash recovery
+    #: (needs a durable cache_root to matter; see repro.serve.journal).
+    journal: bool = True
+    #: Poison-group circuit breaker: consecutive failures per
+    #: (checker, sink) group before the group is short-circuited.
+    #: <= 0 disables the breaker entirely.
+    breaker_threshold: int = 3
+    #: Seconds an open group waits before one half-open probe.
+    breaker_cooldown: float = 30.0
+    #: Watchdog probe period: a worker-pool probe that cannot finish
+    #: within one period marks the executor hung and rebuilds it.
+    #: <= 0 disables the watchdog.
+    watchdog_interval: float = 10.0
 
 
 class ServeApp:
@@ -100,13 +130,22 @@ class ServeApp:
             self._tempdir = tempfile.TemporaryDirectory(
                 prefix="repro-serve-")
             cache_root = self._tempdir.name
-        self.tenants = TenantRegistry(cache_root, self.config.settings)
+        self.tenants = TenantRegistry(
+            cache_root, self.config.settings,
+            telemetry=self.telemetry,
+            journal=self.config.journal,
+            fault_plan=self.config.fault_plan,
+            breaker_threshold=self.config.breaker_threshold,
+            breaker_cooldown=self.config.breaker_cooldown)
         self.admission = AdmissionQueue(self.config.max_queue)
         self._pool = ThreadPoolExecutor(
             max_workers=max(1, self.config.workers),
             thread_name_prefix="repro-serve")
         self._registry_lock = asyncio.Lock()
         self._draining = False
+        self._rebuilding = False
+        #: HTTP response ordinal stream for the client-disconnect fault.
+        self._response_ops = 0
         #: Set once shutdown has drained; front ends exit on it.
         self.stopped = asyncio.Event()
         self._methods = {
@@ -116,8 +155,16 @@ class ServeApp:
             "telemetry": self._rpc_telemetry,
             "tenants": self._rpc_tenants,
             "ping": self._rpc_ping,
+            "health": self._rpc_health,
             "shutdown": self._rpc_shutdown,
         }
+        self._watchdog_stop = threading.Event()
+        self._watchdog: Optional[threading.Thread] = None
+        if self.config.watchdog_interval > 0:
+            self._watchdog = threading.Thread(
+                target=self._watchdog_loop, name="repro-serve-watchdog",
+                daemon=True)
+            self._watchdog.start()
 
     # ------------------------------------------------------------------
     # dispatch
@@ -176,6 +223,8 @@ class ServeApp:
             queue_depth=self.admission.depth,
             queue_peak=self.admission.peak,
             rejected=self.admission.rejected)
+        self.telemetry.record_breaker(
+            open_groups=self.tenants.open_breaker_groups())
 
     async def _in_pool(self, fn, *args):
         loop = asyncio.get_running_loop()
@@ -222,6 +271,9 @@ class ServeApp:
                 raise
             except Exception as error:
                 raise _compile_error(error)
+            # Journal only *accepted* versions: a compile error above
+            # must not clobber the last recoverable program.
+            self.tenants.journal_source(entry)
         return self._session_status(entry)
 
     def _session_status(self, entry) -> dict:
@@ -248,7 +300,8 @@ class ServeApp:
         exec_config = ExecConfig(
             jobs=self.config.jobs, backend=self.config.backend,
             faults=FaultPolicy(query_timeout=deadline),
-            fault_plan=self.config.fault_plan)
+            fault_plan=self.config.fault_plan,
+            breaker=entry.breaker)
         run_telemetry = Telemetry()
         async with entry.lock:
             generation = entry.session.generation
@@ -291,10 +344,26 @@ class ServeApp:
         return self.telemetry.as_dict()
 
     async def _rpc_tenants(self, params: dict) -> dict:
-        return {"tenants": self.tenants.names()}
+        return {"tenants": self.tenants.names(),
+                "recoverable": self.tenants.recoverable()}
 
     async def _rpc_ping(self, params: dict) -> dict:
         return {"pong": True, "draining": self._draining}
+
+    async def _rpc_health(self, params: dict) -> dict:
+        return self.health_payload()
+
+    def health_payload(self) -> dict:
+        """Liveness is implicit (a dead loop answers nothing);
+        readiness enumerates its reasons so probes can log *why*."""
+        reasons = []
+        if self._draining:
+            reasons.append("draining")
+        if self._rebuilding:
+            reasons.append("executor rebuild in progress")
+        if self.admission.depth >= self.config.max_queue:
+            reasons.append("admission queue full")
+        return {"ok": True, "ready": not reasons, "reasons": reasons}
 
     async def _rpc_shutdown(self, params: dict) -> dict:
         self._draining = True
@@ -302,14 +371,72 @@ class ServeApp:
             await asyncio.sleep(0.01)
         served = self.admission.admitted
         sessions = self.tenants.alive
+        # Drained, so every journal is quiescent: stamp the clean-
+        # shutdown markers that let a restart skip crash accounting.
+        self.tenants.mark_clean_shutdown()
         self.stopped.set()
         return {"drained": True, "served": served,
                 "sessions_alive": sessions}
 
     # ------------------------------------------------------------------
+    # watchdog
+
+    def _watchdog_loop(self) -> None:
+        """Probe the worker pool once per interval; a probe that cannot
+        run within one interval means every worker is wedged (or the
+        pool is dead) — rebuild it so new work can run.  Analyses
+        longer than the interval are fine as long as one worker frees
+        up; size the interval above the expected worst queue wait."""
+        from concurrent.futures import TimeoutError as FutureTimeout
+
+        interval = self.config.watchdog_interval
+        while not self._watchdog_stop.wait(interval):
+            try:
+                probe = self._pool.submit(lambda: True)
+                probe.result(timeout=interval)
+            except (FutureTimeout, RuntimeError):
+                if self._watchdog_stop.is_set():
+                    break
+                self._rebuild_pool()
+
+    def _rebuild_pool(self) -> None:
+        from concurrent.futures import ThreadPoolExecutor
+
+        self._rebuilding = True
+        try:
+            old = self._pool
+            self._pool = ThreadPoolExecutor(
+                max_workers=max(1, self.config.workers),
+                thread_name_prefix="repro-serve")
+            old.shutdown(wait=False, cancel_futures=True)
+            self.telemetry.serve_add(watchdog_rebuilds=1)
+        finally:
+            self._rebuilding = False
+
+    # ------------------------------------------------------------------
+    # fault sites
+
+    def drop_response(self) -> bool:
+        """The client-disconnect fault site: True when the plan says
+        this HTTP response should be truncated mid-write."""
+        plan = self.config.fault_plan
+        if plan is None:
+            return False
+        ordinal = self._response_ops
+        self._response_ops += 1
+        if not plan.drops_response(ordinal):
+            return False
+        self.telemetry.serve_add(client_disconnects=1)
+        return True
+
+    # ------------------------------------------------------------------
     # lifecycle
 
     def close(self) -> None:
+        self._watchdog_stop.set()
+        if self._watchdog is not None:
+            self._watchdog.join(timeout=2.0)
+            self._watchdog = None
         self._pool.shutdown(wait=True)
         if self._tempdir is not None:
             self._tempdir.cleanup()
@@ -458,7 +585,23 @@ async def _serve_client(app: ServeApp, reader: asyncio.StreamReader,
         if method == "POST" and split.path in ("/", "/rpc"):
             envelope = await app.handle(body.decode("utf-8", "replace"))
             payload = (json.dumps(envelope) + "\n").encode()
-            writer.write(_http_response(_http_status(envelope), payload))
+            response = _http_response(_http_status(envelope), payload)
+            if app.drop_response():
+                # Fault site: the client vanished mid-response.  Write
+                # a torn prefix and abort the connection; the request
+                # itself already ran and was accounted normally.
+                writer.write(response[:max(1, len(response) // 2)])
+                return
+            writer.write(response)
+            await writer.drain()
+        elif method == "GET" and split.path == "/healthz":
+            writer.write(_http_response(200, b'{"ok": true}\n'))
+            await writer.drain()
+        elif method == "GET" and split.path == "/readyz":
+            health = app.health_payload()
+            status = 200 if health["ready"] else 503
+            writer.write(_http_response(
+                status, (json.dumps(health) + "\n").encode()))
             await writer.drain()
         elif method == "GET" and split.path == "/telemetry":
             query = parse_qs(split.query)
@@ -469,7 +612,7 @@ async def _serve_client(app: ServeApp, reader: asyncio.StreamReader,
                           f"Connection: close\r\n\r\n").encode())
             streamed = 0
             # count=0 streams until the client disconnects or the
-            # daemon drains; each line is one full schema /7 snapshot.
+            # daemon drains; each line is one full schema /8 snapshot.
             while not app.stopped.is_set():
                 app._sync_gauges()
                 snapshot = json.dumps(app.telemetry.as_dict())
@@ -481,7 +624,8 @@ async def _serve_client(app: ServeApp, reader: asyncio.StreamReader,
                 await asyncio.sleep(interval)
         else:
             writer.write(_http_response(
-                404, b'{"error": "POST /rpc or GET /telemetry"}\n'))
+                404, b'{"error": "POST /rpc or GET '
+                     b'/telemetry|/healthz|/readyz"}\n'))
             await writer.drain()
     except (ConnectionError, asyncio.IncompleteReadError):
         pass

@@ -7,13 +7,17 @@ the tenant's precomputed program variants, and (c) isolated — no
 finding ever names another tenant's functions and queue depth never
 exceeds the admission bound.  A second storm runs with an injected
 worker crash plan (a real SIGKILL under the process backend) and the
-same zero-lost-responses bar.
+same zero-lost-responses bar; a third runs under a seeded store-fault
+plan (the CI chaos matrix pins the seeds via ``REPRO_FAULT_SEEDS``).
 """
 
 import asyncio
 import json
+import os
 import random
 import tempfile
+
+import pytest
 
 from repro.engine import AnalysisSession, findings_payload
 from repro.exec import FaultPlan
@@ -23,6 +27,9 @@ from repro.serve import OVERLOADED, ServeApp, ServeConfig
 CLIENTS = 8
 OPS_PER_CLIENT = 5
 TENANTS = ("alpha", "beta")
+
+FAULT_SEEDS = [int(seed) for seed in
+               os.environ.get("REPRO_FAULT_SEEDS", "3").split(",")]
 
 
 def tenant_source(prefix: str, flipped: bool) -> str:
@@ -175,6 +182,33 @@ def test_soak_with_injected_worker_sigkill():
                 assert faults["requeued_batches"] + \
                     faults["batch_retries"] > 0
                 assert snapshot["serve"]["errors"] == 0
+            finally:
+                app.close()
+
+    asyncio.run(main())
+
+
+@pytest.mark.parametrize("seed", FAULT_SEEDS)
+def test_soak_with_seeded_store_faults(seed):
+    """Same storm under a seeded store-fault plan (EIO, torn writes,
+    bit flips): faulted store I/O may cost re-solves or quarantines,
+    never a wrong verdict, a lost response, or a dead daemon."""
+    expected = {t: expected_findings(t) for t in TENANTS}
+    plan = FaultPlan.seeded(seed, num_queries=0, store_ops=6)
+    assert not plan.is_empty
+
+    async def main():
+        with tempfile.TemporaryDirectory() as root:
+            app = ServeApp(ServeConfig(cache_root=root, workers=4,
+                                       max_queue=8, fault_plan=plan))
+            try:
+                snapshot = await soak(app, expected)
+                assert snapshot["serve"]["errors"] == 0
+                store = snapshot["store"]
+                # The seeded plan fired at least one store fault, and
+                # every one degraded to a counted miss or quarantine.
+                assert store["io_errors"] + store["corrupt_entries"] \
+                    + store["quarantined"] >= 1, store
             finally:
                 app.close()
 

@@ -270,7 +270,7 @@ class TestCorruption:
 
 
 class TestEntryLayout:
-    def test_entries_are_schema_tagged_sorted_json(self, tmp_path):
+    def test_entries_are_schema_tagged_checksummed_json(self, tmp_path):
         src = fuzz_source(51)
         store = ArtifactStore(str(tmp_path), label="t")
         analyze(src, store=store)
@@ -280,6 +280,14 @@ class TestEntryLayout:
             with open(path) as handle:
                 text = handle.read()
             payload = json.loads(text)
-            assert payload["schema"] == "repro-exec-store/1"
-            assert set(payload) >= {"deps", "report"}
-            assert text == json.dumps(payload, sort_keys=True)
+            assert payload["schema"] == "repro-exec-store/2"
+            assert set(payload) >= {"deps", "report", "sha256"}
+            assert text == json.dumps(payload, sort_keys=True,
+                                      separators=(",", ":"))
+            # The checksum covers the payload minus itself.
+            import hashlib
+            recorded = payload.pop("sha256")
+            canonical = json.dumps(payload, sort_keys=True,
+                                   separators=(",", ":"))
+            assert recorded \
+                == hashlib.sha256(canonical.encode()).hexdigest()
