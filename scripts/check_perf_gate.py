@@ -20,7 +20,13 @@ fresh and checks, in order:
   ``ffmpeg`` x ``cwe-23`` cell; ffmpeg is the smallest registry subject
   carrying taint injections) must keep matching a fresh run *and* its
   sparsified view must stay at least ``TAINT_EDGE_REDUCTION_FLOOR``
-  times smaller than the full PDG (docs/sparsification.md).
+  times smaller than the full PDG (docs/sparsification.md);
+* **demand regions** — ``results/BENCH_demand.json`` (a committed
+  ``repro bench --demand`` cell on the same taint subject) must keep
+  matching a fresh run row for row, every demand verdict must stay
+  byte-identical to the full analysis (``match_full``), and every
+  pair's region must stay at most ``DEMAND_REGION_CEILING`` of the
+  full PDG's vertices (docs/queries.md).
 
 Exits nonzero with a diagnostic on the first violated property.
 """
@@ -43,6 +49,8 @@ BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                         os.pardir, "results", "BENCH_incremental.json")
 TAINT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                               os.pardir, "results", "BENCH_taint.json")
+DEMAND_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                               os.pardir, "results", "BENCH_demand.json")
 
 #: Row fields that must match the baseline exactly: everything the
 #: analysis *decides*, nothing the wall clock touches.  The four graph
@@ -63,6 +71,11 @@ NOISE_FLOOR_SECONDS = 0.05
 #: reduction over the full PDG.  A view with zero kept edges (every
 #: source/sink pair pruned away) trivially satisfies any floor.
 TAINT_EDGE_REDUCTION_FLOOR = 2.0
+
+#: Every demand pair's region must stay at most this fraction of the
+#: full PDG's vertex count on the taint cell — the point of the demand
+#: API is that a query touches a small corner of the graph.
+DEMAND_REGION_CEILING = 0.25
 
 
 def fail(message: str) -> None:
@@ -92,6 +105,39 @@ def load_baseline(path: str, subject: str, checker: str) -> dict:
     return baseline
 
 
+def load_demand_baseline(path: str) -> dict:
+    """Read the committed demand-bench record (schema and shape gated
+    like :func:`load_baseline`, with its own regeneration command)."""
+    regen = ("PYTHONPATH=src python -m repro bench --subject ffmpeg "
+             "--engine fusion --checker cwe-23 --demand "
+             f"--bench-json {os.path.relpath(path)}")
+    try:
+        with open(path) as handle:
+            baseline = json.load(handle)
+        schema = baseline["schema"]
+        baseline["pairs"][0]["region_nodes"]  # shape probe
+    except (OSError, ValueError, KeyError, TypeError, IndexError) as error:
+        fail(f"committed baseline {os.path.relpath(path)} is missing or "
+             f"unreadable ({type(error).__name__}: {error}) — regenerate "
+             f"it with: {regen}")
+    if schema != "repro-bench-demand/1":
+        fail(f"baseline {os.path.relpath(path)} has unexpected schema "
+             f"{schema!r} — regenerate it with: {regen}")
+    return baseline
+
+
+def run_demand_bench(record_path: str) -> dict:
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(["bench", "--subject", "ffmpeg", "--engine",
+                     "fusion", "--checker", "cwe-23", "--demand",
+                     "--bench-json", record_path])
+    if code != 0:
+        fail(f"bench --demand exited {code}:\n{buffer.getvalue()}")
+    with open(record_path) as handle:
+        return json.load(handle)
+
+
 def run_bench(record_path: str, incremental: bool,
               subject: str = "mcf", checker: str = "null-deref") -> dict:
     flag = "--incremental" if incremental else "--no-incremental"
@@ -116,9 +162,34 @@ def check_row(fresh: dict, baseline: dict, label: str) -> None:
                  f"is intended and explained)")
 
 
+def check_demand(fresh: dict, baseline: dict) -> None:
+    """The demand cell is timing-free, so the whole record must match
+    the committed baseline exactly; on top of parity, every verdict
+    must replay the full analysis byte-for-byte and every pair region
+    must stay small."""
+    for key in ("subject", "engine", "checker", "full_findings",
+                "pairs_queried", "mismatches", "max_region_nodes",
+                "pairs"):
+        if fresh[key] != baseline[key]:
+            fail(f"demand record field {key!r} drifted from the "
+                 f"committed baseline: expected {baseline[key]!r}, got "
+                 f"{fresh[key]!r} (regenerate results/BENCH_demand.json "
+                 f"only if the change is intended and explained)")
+    for position, row in enumerate(fresh["pairs"]):
+        if not row["match_full"]:
+            fail(f"demand pair #{position} "
+                 f"({row['source']} -> {row['sink']}) no longer matches "
+                 f"the full analysis verdict byte-for-byte")
+        if row["region_nodes"] > DEMAND_REGION_CEILING * row["pdg_nodes"]:
+            fail(f"demand pair #{position} region grew past "
+                 f"{DEMAND_REGION_CEILING:.0%} of the full PDG: "
+                 f"{row['region_nodes']} of {row['pdg_nodes']} vertices")
+
+
 def run() -> int:
     baseline = load_baseline(BASELINE, "mcf", "null-deref")
     taint_baseline = load_baseline(TAINT_BASELINE, "ffmpeg", "cwe-23")
+    demand_baseline = load_demand_baseline(DEMAND_BASELINE)
 
     with tempfile.TemporaryDirectory() as tmp:
         fresh = run_bench(os.path.join(tmp, "fresh.json"),
@@ -128,9 +199,11 @@ def run() -> int:
         taint = run_bench(os.path.join(tmp, "taint.json"),
                           incremental=True, subject="ffmpeg",
                           checker="cwe-23")
+        demand = run_demand_bench(os.path.join(tmp, "demand.json"))
 
     check_row(fresh, baseline, "mcf")
     check_row(taint, taint_baseline, "taint")
+    check_demand(demand, demand_baseline)
 
     view_edges = taint["row"]["view_edges"]
     pdg_edges = taint["row"]["pdg_edges"]
@@ -162,7 +235,10 @@ def run() -> int:
           f"{counters['assumption_solves']} assumption solve(s), "
           f"solve {base_solve:.3f}s one-shot vs {inc_solve:.3f}s "
           f"incremental, taint view {view_edges}/{pdg_edges} edges "
-          f"({reduction:.1f}x reduction)")
+          f"({reduction:.1f}x reduction), demand regions <= "
+          f"{demand['max_region_nodes']} of "
+          f"{demand['pairs'][0]['pdg_nodes']} vertices over "
+          f"{demand['pairs_queried']} pair(s)")
     return 0
 
 

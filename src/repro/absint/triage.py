@@ -150,11 +150,13 @@ class CandidateTriage:
 
         With every requirement constant-true, running the root function
         with *any* in-interval arguments drives the fact to the sink;
-        we pick 0 when allowed, else the interval's low bound.
+        we pick 0 when allowed, else the interval's low bound.  The
+        root is the path's outermost enclosing activation (sink-side:
+        a fact that escapes its birth function through a return edge
+        roots at the escaped-into caller, whose execution actually
+        reaches the sink — see ``DependencePath.root_frame``).
         """
-        root = candidate.path.source.frame
-        while root.parent is not None and not root.via_return:
-            root = root.parent
+        root = candidate.path.root_frame()
         witness: dict[str, int] = {}
         for vertex in self.pdg.param_vertices(root.function):
             value: AbsValue = self.state.values[vertex.index]

@@ -66,10 +66,60 @@ def build_parser() -> argparse.ArgumentParser:
                        default="BENCH_incremental.json",
                        help="also write the machine-readable bench record "
                             "(row + incremental-solver counters) here "
-                            "(default BENCH_incremental.json)")
+                            "(default BENCH_incremental.json; "
+                            "BENCH_demand.json under --demand)")
     bench.add_argument("--no-bench-json", action="store_true",
                        help="suppress the --bench-json output file")
+    bench.add_argument("--demand", action="store_true",
+                       help="demand-query cell: run the full analysis "
+                            "once, then re-decide every (source, sink) "
+                            "pair through repro.query and record the "
+                            "pair-region sizes vs the full PDG (see "
+                            "docs/queries.md)")
     _add_exec_arguments(bench)
+
+    query = sub.add_parser(
+        "query",
+        help="demand query: decide one (def site, sink) pair without a "
+             "whole-program analysis (see docs/queries.md)")
+    query.add_argument("file", help="source file ('-' for stdin)")
+    query.add_argument("--checker", required=True,
+                       choices=sorted(CHECKER_FACTORIES))
+    query.add_argument("--sink", required=True, metavar="LINE[:COL]",
+                       help="1-based source line (optionally :column) of "
+                            "the sink call")
+    query.add_argument("--def", dest="def_line", type=int, default=None,
+                       metavar="LINE",
+                       help="restrict to the checker sources created on "
+                            "this line (default: any source)")
+    query.add_argument("--engine", default="fusion",
+                       choices=ENGINE_CHOICES)
+    query.add_argument("--triage", action="store_true",
+                       help="run the absint triage pre-pass on the pair "
+                            "region")
+    query.add_argument("--incremental",
+                       action=argparse.BooleanOptionalAction, default=True,
+                       help="group-keyed persistent solver sessions "
+                            "(default on)")
+    query.add_argument("--sparsify",
+                       action=argparse.BooleanOptionalAction, default=True,
+                       help="walk the checker's pruned PDG view "
+                            "(default on)")
+    query.add_argument("--unroll", type=int, default=2,
+                       help="loop unrolling bound (default 2)")
+    query.add_argument("--width", type=int, default=8,
+                       help="bit width of integers (default 8)")
+    query.add_argument("--cache-dir", metavar="PATH", default=None,
+                       help="artifact store shared with full analyses: "
+                            "warm verdicts replay without a solve")
+    query.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-candidate solve deadline (overruns "
+                            "report UNKNOWN)")
+    query.add_argument("--json", action="store_true", dest="as_json",
+                       help="machine-readable verdict on stdout")
+    query.add_argument("--telemetry", metavar="FILE",
+                       help="write structured run telemetry as JSON")
 
     analyze = sub.add_parser(
         "analyze",
@@ -401,6 +451,8 @@ def _write_telemetry(args: argparse.Namespace, telemetry) -> bool:
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import run_engine
 
+    if args.demand:
+        return _bench_demand(args)
     if args.triage and args.engine == "infer":
         print("repro bench: --triage requires a path-sensitive engine "
               "(infer has no SMT stage)", file=sys.stderr)
@@ -448,6 +500,176 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if not _write_telemetry(args, telemetry):
         return 2
     return 0 if outcome.failed is None else 2
+
+
+def _bench_demand(args: argparse.Namespace) -> int:
+    """The ``repro bench --demand`` cell.
+
+    Runs the full analysis once, then re-decides every distinct
+    (source, sink) pair it reported through
+    :func:`repro.query.engine.run_demand_query` on the same hot
+    engine, recording the pair region's size against the full PDG and
+    checking the demand verdicts stay byte-identical to the full run's
+    findings.  ``scripts/check_perf_gate.py`` pins the committed
+    baseline ``results/BENCH_demand.json`` against a fresh cell.
+    """
+    from repro.bench.subjects import materialize
+    from repro.engine import (AnalysisSession, EngineSettings,
+                              findings_payload)
+    from repro.query.engine import run_demand_query
+
+    if args.engine == "infer":
+        print("repro bench --demand: the infer baseline has no "
+              "per-candidate solve path", file=sys.stderr)
+        return 2
+    try:
+        subject = materialize(args.subject)
+    except KeyError:
+        print(f"repro bench: unknown subject {args.subject!r} "
+              f"(see `repro subjects`)", file=sys.stderr)
+        return 2
+    settings = EngineSettings(engine=args.engine,
+                              incremental=args.incremental,
+                              triage=args.triage,
+                              sparsify=args.sparsify)
+    session = AnalysisSession(subject.source, settings=settings)
+    checker = CHECKER_FACTORIES[args.checker]()
+    result = session.analyze(args.checker)
+    full_findings = findings_payload(result)
+
+    pairs: list[tuple] = []
+    seen: set[tuple[int, int]] = set()
+    for report in result.reports:
+        key = (report.source.index, report.sink.index)
+        if key not in seen:
+            seen.add(key)
+            pairs.append((key, report))
+
+    rows = []
+    mismatches = 0
+    for (src, sink), sample in pairs:
+        expected = [
+            finding for finding, report
+            in zip(full_findings, result.reports)
+            if (report.source.index, report.sink.index) == (src, sink)]
+        verdict = run_demand_query(session.engine, checker,
+                                   frozenset({sink}), frozenset({src}),
+                                   triage=args.triage)
+        match = json.dumps(verdict.findings) == json.dumps(expected)
+        if not match:
+            mismatches += 1
+        rows.append({
+            "source_function": sample.source.function,
+            "source": repr(sample.source.stmt),
+            "sink_function": sample.sink.function,
+            "sink": repr(sample.sink.stmt),
+            "feasible": verdict.feasible,
+            "match_full": match,
+            "candidates": verdict.candidates,
+            "smt_queries": verdict.smt_queries,
+            "region_nodes": verdict.region_nodes,
+            "region_edges": verdict.region_edges,
+            "pdg_nodes": verdict.pdg_nodes,
+            "pdg_edges": verdict.pdg_edges,
+        })
+
+    record = {
+        "schema": "repro-bench-demand/1",
+        "subject": args.subject,
+        "engine": args.engine,
+        "checker": args.checker,
+        "full_findings": len(full_findings),
+        "pairs_queried": len(rows),
+        "mismatches": mismatches,
+        "max_region_nodes": max((r["region_nodes"] for r in rows),
+                                default=0),
+        "pairs": rows,
+    }
+    print(json.dumps(record, indent=2))
+    if not args.no_bench_json:
+        path = args.bench_json
+        if path == "BENCH_incremental.json":
+            path = "BENCH_demand.json"
+        try:
+            with open(path, "w") as handle:
+                json.dump(record, handle, indent=2)
+                handle.write("\n")
+        except OSError as error:
+            print(f"repro: cannot write bench record to {path!r}: "
+                  f"{error}", file=sys.stderr)
+            return 2
+    return 0 if mismatches == 0 else 2
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    from repro.engine import AnalysisSession, EngineSettings
+    from repro.exec import Telemetry
+
+    if args.file == "-":
+        source = sys.stdin.read()
+    else:
+        try:
+            with open(args.file) as handle:
+                source = handle.read()
+        except OSError as error:
+            print(f"repro query: {error}", file=sys.stderr)
+            return 2
+    sink_text, _, col_text = args.sink.partition(":")
+    try:
+        sink_line = int(sink_text)
+        sink_col = int(col_text) if col_text else None
+    except ValueError:
+        print(f"repro query: bad --sink {args.sink!r} "
+              f"(expected LINE or LINE:COL)", file=sys.stderr)
+        return 2
+    store = None
+    if args.cache_dir is not None:
+        from repro.exec import ArtifactStore
+        store = ArtifactStore(args.cache_dir, label=args.file)
+    settings = EngineSettings(engine=args.engine,
+                              incremental=args.incremental,
+                              triage=args.triage,
+                              sparsify=args.sparsify,
+                              loop_unroll=args.unroll,
+                              width=args.width)
+    telemetry = Telemetry() if args.telemetry else None
+    try:
+        session = AnalysisSession(source, settings=settings, store=store)
+    except Exception as error:  # lex/parse/lowering errors
+        print(f"repro query: {error}", file=sys.stderr)
+        return 2
+    try:
+        verdict = session.query(args.checker, sink=(sink_line, sink_col),
+                                def_line=args.def_line,
+                                telemetry=telemetry,
+                                deadline_s=args.deadline)
+    except ValueError as error:
+        print(f"repro query: {error}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps(verdict.to_payload(), indent=2))
+    else:
+        state = "feasible (BUG)" if verdict.feasible else \
+            "reachable but infeasible" if verdict.reachable else \
+            "unreachable"
+        print(f"{args.checker} @ line {sink_line}: {state} "
+              f"[region {verdict.region_nodes}/{verdict.pdg_nodes} "
+              f"nodes, {verdict.candidates} candidate(s), "
+              f"{verdict.smt_queries} solve(s)]")
+        for finding in verdict.findings:
+            if not finding["feasible"]:
+                continue
+            print(f"[BUG] {finding['source_function']}: "
+                  f"{finding['source']}")
+            print(f"      -> {finding['sink_function']}: "
+                  f"{finding['sink']}")
+            if finding.get("witness"):
+                pairs = ", ".join(f"{k}={v}" for k, v
+                                  in finding["witness"].items())
+                print(f"      witness: {pairs}")
+    if not _write_telemetry(args, telemetry):
+        return 2
+    return 1 if verdict.feasible else 0
 
 
 def _resolve_subject_program(name: str):
@@ -613,8 +835,9 @@ def cmd_lint(args: argparse.Namespace) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"scan": cmd_scan, "subjects": cmd_subjects,
-                "bench": cmd_bench, "analyze": cmd_analyze,
-                "serve": cmd_serve, "pdg": cmd_pdg, "lint": cmd_lint}
+                "bench": cmd_bench, "query": cmd_query,
+                "analyze": cmd_analyze, "serve": cmd_serve,
+                "pdg": cmd_pdg, "lint": cmd_lint}
     return handlers[args.command](args)
 
 

@@ -187,6 +187,12 @@ class AnalysisSession:
         #: Bumped on every successful ``update_source``; lets a driver
         #: tag responses with the program version they analysed.
         self.generation = 0
+        #: Per-pair demand-verdict memo for the current program version
+        #: (cleared on every edit; see :meth:`query`).
+        self._query_cache: dict = {}
+        #: Lazily-lexed token stream of the current source, shared by
+        #: every site resolution of this program version.
+        self._query_tokens = None
         if source is not None:
             self.update_source(source)
 
@@ -222,6 +228,8 @@ class AnalysisSession:
                                program_keys(pdg.program),
                                pdg.program)
         self.source, self.pdg, self.engine = source, pdg, engine
+        self._query_cache.clear()
+        self._query_tokens = None
         self.generation += 1
 
     def analyze(self, checker: str, *, exec_config=None,
@@ -248,6 +256,85 @@ class AnalysisSession:
                 kwargs["store"] = self.store
         return self.engine.analyze(factory(), exec_config=exec_config,
                                    telemetry=telemetry, **kwargs)
+
+    def query(self, checker: str, *, sink, def_line: Optional[int] = None,
+              telemetry=None, deadline_s: Optional[float] = None):
+        """Demand query: decide one (def site, sink) pair.
+
+        ``sink`` is a 1-based source line or a ``(line, col)`` pair;
+        ``def_line`` (optional) restricts the walk to the checker
+        sources created on that line.  Returns a
+        :class:`~repro.query.Verdict` whose findings are byte-identical
+        to the pair's entries in a full :meth:`analyze` — the walk
+        reuses the engine's hot views, the triage setting, the artifact
+        store (per-pair verdicts replay under the same fingerprint
+        scheme as full runs), plus a per-program-version memo so a
+        repeated query costs a dictionary lookup.
+
+        Raises ``ValueError`` for an unknown checker, a position that
+        resolves to no site, or the infer engine (which has no
+        per-candidate solve path to dispatch the pair through).
+        """
+        from repro.query.engine import cached_verdict, run_demand_query
+        from repro.query.sites import (resolve_def_sites,
+                                       resolve_sink_sites)
+
+        if self.engine is None:
+            raise RuntimeError("AnalysisSession has no program; call "
+                               "update_source first")
+        if self.settings.engine == "infer":
+            raise ValueError("demand queries need a per-candidate solve "
+                             "path; the infer baseline has none")
+        factory = CHECKER_FACTORIES.get(checker)
+        if factory is None:
+            raise ValueError(f"unknown checker {checker!r}")
+        checker_obj = factory()
+        if isinstance(sink, tuple):
+            line, col = sink
+        else:
+            line, col = sink, None
+        if self._query_tokens is None:
+            from repro.lang.lexer import tokenize
+            self._query_tokens = tokenize(self.source)
+        tokens = self._query_tokens
+        sink_sites = resolve_sink_sites(self.pdg, self.source,
+                                        checker_obj, line, col,
+                                        tokens=tokens)
+        if not sink_sites:
+            raise ValueError(f"no {checker} sink at line {line}"
+                             + (f" col {col}" if col is not None else ""))
+        sink_indices = frozenset(v.index for v in sink_sites)
+        def_indices = None
+        if def_line is not None:
+            def_sites = resolve_def_sites(self.pdg, self.source,
+                                          checker_obj, def_line,
+                                          tokens=tokens)
+            if not def_sites:
+                raise ValueError(f"no {checker} source at line "
+                                 f"{def_line}")
+            def_indices = frozenset(v.index for v in def_sites)
+
+        key = (checker, sink_indices, def_indices, deadline_s)
+        cached = self._query_cache.get(key)
+        if cached is not None:
+            verdict = cached_verdict(cached)
+            if telemetry is not None:
+                telemetry.record_demand(
+                    demand_queries=1, region_cache_hits=1,
+                    region_nodes=verdict.region_nodes,
+                    region_edges=verdict.region_edges,
+                    pdg_nodes=verdict.pdg_nodes,
+                    pdg_edges=verdict.pdg_edges,
+                    verdicts_replayed=verdict.replayed_verdicts)
+            return verdict
+        verdict = run_demand_query(self.engine, checker_obj,
+                                   sink_indices, def_indices,
+                                   triage=self.settings.triage,
+                                   store=self.store,
+                                   telemetry=telemetry,
+                                   deadline_s=deadline_s)
+        self._query_cache[key] = verdict
+        return verdict
 
     def function_names(self) -> list[str]:
         if self.pdg is None:

@@ -46,7 +46,10 @@ from repro.smt.solver import SmtStatus
 #: and serve crash-recovery counters (sessions_recovered, clean vs
 #: crash recoveries, journal records/compactions, watchdog rebuilds,
 #: client disconnects).
-SCHEMA = "repro-exec-telemetry/8"
+#: /9 added the "query" section (demand-driven value-flow queries:
+#: queries answered, pair-region nodes/edges vs the full PDG, per-pair
+#: verdict-memo hits, verdicts replayed from the artifact store).
+SCHEMA = "repro-exec-telemetry/9"
 
 #: Request-latency samples kept for the percentile estimates; the serve
 #: soak keeps a daemon alive indefinitely, so the window is bounded
@@ -130,6 +133,15 @@ class Telemetry:
             "bypass_edges": 0,       # chain-elision bypass stitches
             "live_sources": 0,       # sources that can reach a sink
             "sources_elided": 0,     # sources pruned as unobservable
+        }
+        self.query: dict[str, int] = {
+            "demand_queries": 0,     # demand queries answered
+            "region_nodes": 0,       # pair-region vertices walked (sum)
+            "region_edges": 0,       # pair-region data edges (sum)
+            "pdg_nodes": 0,          # full-PDG vertices at query time (sum)
+            "pdg_edges": 0,          # full-PDG data edges at query time
+            "region_cache_hits": 0,  # queries served from the pair memo
+            "verdicts_replayed": 0,  # reports replayed from the store
         }
         self._latencies: list[float] = []
         self.faults: dict[str, int] = {
@@ -243,6 +255,13 @@ class Telemetry:
                 else:
                     self.breaker[key] = self.breaker.get(key, 0) + amount
 
+    def record_demand(self, **counts: int) -> None:
+        """One demand query's region and cache counters (see the
+        ``query`` section keys)."""
+        with self._lock:
+            for key, amount in counts.items():
+                self.query[key] = self.query.get(key, 0) + amount
+
     def record_fault(self, kind: str, amount: int = 1) -> None:
         """One fault-tolerance event (see the ``faults`` section keys)."""
         with self._lock:
@@ -308,6 +327,7 @@ class Telemetry:
                                   ("store", self.store),
                                   ("incremental", self.incremental),
                                   ("reduce", self.reduce),
+                                  ("query", self.query),
                                   ("faults", self.faults)):
                 for key, value in snapshot[section].items():
                     mine[key] = mine.get(key, 0) + value
@@ -365,6 +385,7 @@ class Telemetry:
                 "store": dict(self.store),
                 "incremental": dict(self.incremental),
                 "reduce": dict(self.reduce),
+                "query": dict(self.query),
                 "serve": serve,
                 "breaker": dict(self.breaker),
                 "faults": dict(self.faults),

@@ -12,7 +12,7 @@ listener mapping ``POST /rpc`` onto the same dispatcher and streaming
 telemetry snapshots from ``GET /telemetry``.
 
 Request lifecycle for the heavy methods (``initialize`` / ``update`` /
-``analyze``):
+``analyze`` / ``query``):
 
 1. admission — rejected with 429 before any analysis state is touched
    when the bounded queue is full; rejected with 503 while draining;
@@ -73,7 +73,7 @@ from repro.serve.tenancy import TenantRegistry, splice_function
 #: Methods that go through admission + the worker pool.  Everything else
 #: (ping/telemetry/tenants/shutdown) is answered on the event loop and
 #: must stay responsive even under full load.
-HEAVY_METHODS = frozenset({"initialize", "update", "analyze"})
+HEAVY_METHODS = frozenset({"initialize", "update", "analyze", "query"})
 
 
 @dataclass
@@ -152,6 +152,7 @@ class ServeApp:
             "initialize": self._rpc_initialize,
             "update": self._rpc_update,
             "analyze": self._rpc_analyze,
+            "query": self._rpc_query,
             "telemetry": self._rpc_telemetry,
             "tenants": self._rpc_tenants,
             "ping": self._rpc_ping,
@@ -337,6 +338,51 @@ class ServeApp:
         }
         if result.failure is not None:
             response["failure"] = result.failure
+        return response
+
+    async def _rpc_query(self, params: dict) -> dict:
+        """Demand query: decide one (def site, sink) pair on a hot
+        tenant without a whole-program analyze.  Delta-free by
+        construction — the response carries only the pair's verdict."""
+        tenant = require_str(params, "tenant")
+        checker = optional_str(params, "checker", self.config.checker)
+        if checker not in CHECKER_FACTORIES:
+            raise ServeError(
+                INVALID_PARAMS,
+                f"unknown checker {checker!r}; one of "
+                f"{sorted(CHECKER_FACTORIES)}")
+        sink_line = optional_number(params, "sink")
+        if sink_line is None:
+            raise ServeError(INVALID_PARAMS,
+                             "query needs 'sink' (a 1-based line)")
+        sink_col = optional_number(params, "col")
+        def_line = optional_number(params, "def")
+        deadline = optional_number(params, "deadline_s",
+                                   self.config.default_deadline)
+        entry = self.tenants.get(tenant)
+        run_telemetry = Telemetry()
+        async with entry.lock:
+            generation = entry.session.generation
+            try:
+                verdict = await self._in_pool(
+                    lambda: entry.session.query(
+                        checker,
+                        sink=(int(sink_line),
+                              int(sink_col) if sink_col is not None
+                              else None),
+                        def_line=int(def_line) if def_line is not None
+                        else None,
+                        telemetry=run_telemetry,
+                        deadline_s=deadline))
+            except ValueError as error:
+                # Site resolution failures (no sink/source at the line)
+                # are the caller's coordinates being wrong, not ours.
+                raise ServeError(INVALID_PARAMS, str(error))
+        self.telemetry.merge(run_telemetry)
+        self.telemetry.serve_add(
+            replayed_verdicts=verdict.replayed_verdicts)
+        response = {"tenant": tenant, "generation": generation}
+        response.update(verdict.to_payload())
         return response
 
     async def _rpc_telemetry(self, params: dict) -> dict:
@@ -612,7 +658,7 @@ async def _serve_client(app: ServeApp, reader: asyncio.StreamReader,
                           f"Connection: close\r\n\r\n").encode())
             streamed = 0
             # count=0 streams until the client disconnects or the
-            # daemon drains; each line is one full schema /8 snapshot.
+            # daemon drains; each line is one full schema /9 snapshot.
             while not app.stopped.is_set():
                 app._sync_gauges()
                 snapshot = json.dumps(app.telemetry.as_dict())

@@ -147,17 +147,33 @@ class SessionJournal:
             self.write_errors += 1
             return
         self.appended += 1
-        if self._records_since_compact is not None:
+        if self._records_since_compact is not None \
+                and record.get("kind") == "source":
             self._records_since_compact += 1
 
     def _count_records(self) -> int:
+        """Intact ``source`` records currently in the file.
+
+        Only source records supersede one another, so only they count
+        toward the compaction threshold — markers, blank lines and
+        corrupt garbage must not advance the cadence (they used to,
+        which made it drift after every clean-shutdown/restart cycle).
+        """
         if self._records_since_compact is None:
+            count = 0
             try:
-                with open(self.path, "rb") as handle:
-                    self._records_since_compact = sum(
-                        1 for _ in handle)
+                with open(self.path, "r", encoding="utf-8") as handle:
+                    for line in handle:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        record = _unseal(line)
+                        if record is not None \
+                                and record.get("kind") == "source":
+                            count += 1
             except OSError:
-                self._records_since_compact = 0
+                pass
+            self._records_since_compact = count
         return self._records_since_compact
 
     def compact(self) -> None:

@@ -45,6 +45,27 @@ from repro.serve.protocol import (COMPILE_ERROR, INVALID_PARAMS,
                                   UNKNOWN_TENANT, ServeError)
 
 
+def _mask_comments(text: str) -> str:
+    """``text`` with every ``#``/``//`` line comment blanked to spaces.
+
+    Same-length as the input, so every index into the mask is an index
+    into the original — the splicer searches and scans the mask but
+    splices the original.  Mirrors the lexer's comment rule
+    (``repro.lang.lexer``); the language has no string literals, so a
+    comment marker is never quoted.
+    """
+    chars = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        if text[i] == "#" or text.startswith("//", i):
+            while i < n and text[i] != "\n":
+                chars[i] = " "
+                i += 1
+        else:
+            i += 1
+    return "".join(chars)
+
+
 def splice_function(source: str, name: str, text: str) -> str:
     """Replace the definition of ``name`` in ``source`` with ``text``.
 
@@ -52,22 +73,27 @@ def splice_function(source: str, name: str, text: str) -> str:
     An unknown name *appends* the definition (how a client adds a new
     function); a name mismatch between ``name`` and ``text`` is an
     error, so a typo cannot silently orphan the old definition.
+
+    Comment spans are skipped during both the header search and the
+    brace scan: the lexer accepts ``#``/``//`` line comments, so a
+    brace or a ``fun`` header inside one is prose, not structure.
     """
-    header = re.search(r"\bfun\s+(\w+)\s*\(", text)
+    header = re.search(r"\bfun\s+(\w+)\s*\(", _mask_comments(text))
     if header is None or header.group(1) != name:
         raise ServeError(INVALID_PARAMS,
                          f"edit text must define function {name!r}")
-    match = re.search(rf"\bfun\s+{re.escape(name)}\s*\(", source)
+    masked = _mask_comments(source)
+    match = re.search(rf"\bfun\s+{re.escape(name)}\s*\(", masked)
     if match is None:
         sep = "" if source.endswith("\n") else "\n"
         return f"{source}{sep}{text.strip()}\n"
-    open_brace = source.find("{", match.end())
+    open_brace = masked.find("{", match.end())
     if open_brace < 0:
         raise ServeError(COMPILE_ERROR,
                          f"held source is malformed at function {name!r}")
     depth = 0
-    for position in range(open_brace, len(source)):
-        char = source[position]
+    for position in range(open_brace, len(masked)):
+        char = masked[position]
         if char == "{":
             depth += 1
         elif char == "}":

@@ -38,7 +38,7 @@ class SparseConfig:
 def collect_candidates(pdg: ProgramDependenceGraph, checker: Checker,
                        config: Optional[SparseConfig] = None,
                        frames: Optional[FrameTable] = None,
-                       view=None) -> list[BugCandidate]:
+                       view=None, sources=None) -> list[BugCandidate]:
     """Run the sparse propagation and return all bug candidates.
 
     Pass a shared ``frames`` table when the caller intends to check
@@ -55,6 +55,15 @@ def collect_candidates(pdg: ProgramDependenceGraph, checker: Checker,
     frame id inside the paths — is byte-identical to the full walk.
     The view is ignored under a shared ``frames`` table, whose ids must
     stay unique across *all* sources including elided ones.
+
+    Pass ``sources`` (a subsequence of the default source order) to walk
+    only those sources.  Each source's walk is independent — it interns
+    its own :class:`FrameTable` and keeps its own visit counts — so the
+    candidates produced for a selected source are byte-identical to the
+    ones the full walk produces for it.  This is the demand-query entry
+    point (``repro.query``); the one caveat is the global
+    ``max_candidates`` cap, which a restricted walk reaches later than a
+    full one.
     """
     config = config if config is not None else SparseConfig()
     candidates: list[BugCandidate] = []
@@ -62,10 +71,12 @@ def collect_candidates(pdg: ProgramDependenceGraph, checker: Checker,
     shared_frames = frames
 
     if view is not None and shared_frames is None:
-        sources = view.live_sources
+        if sources is None:
+            sources = view.live_sources
         kept = view.kept_entries
     else:
-        sources = checker.sources(pdg)
+        if sources is None:
+            sources = checker.sources(pdg)
         kept = None
 
     for source in sources:

@@ -104,6 +104,24 @@ class DependencePath:
     def __len__(self) -> int:
         return len(self.steps)
 
+    def root_frame(self) -> Frame:
+        """The outermost activation enclosing the whole path.
+
+        Walked up from the *sink* frame: a frame entered through a call
+        edge links parent-to-caller, so following ``parent`` goes up,
+        while an escaped frame (unbalanced return) links parent-to-the-
+        callee-it-left and is itself the outermost activation known at
+        that point of the walk.  Escapes are only ever recorded on the
+        sink side of the path — the source frame's chain never contains
+        them — so a fact that leaves its birth function through a
+        return edge roots at the escaped-into caller, not at the birth
+        function.
+        """
+        frame = self.sink.frame
+        while frame.parent is not None and not frame.via_return:
+            frame = frame.parent
+        return frame
+
     def frames(self) -> list[Frame]:
         seen: dict[int, Frame] = {}
         for step in self.steps:

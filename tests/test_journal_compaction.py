@@ -1,0 +1,85 @@
+"""Regression tests: the journal's 16-record compaction cadence.
+
+``_count_records`` used to count every line of the journal file —
+``clean_shutdown`` markers, blank lines, even corrupt garbage — so the
+cadence drifted after a clean-shutdown/restart cycle.  Only ``source``
+records supersede each other, so only they count toward the threshold.
+"""
+
+import os
+import tempfile
+
+import pytest
+
+from repro.serve.journal import COMPACT_THRESHOLD, SessionJournal
+
+SETTINGS = {"engine": "fusion"}
+
+
+def append_sources(journal: SessionJournal, count: int,
+                   start: int = 1) -> None:
+    for generation in range(start, start + count):
+        journal.record_source(generation, f"fun main() {{ }} # g{generation}",
+                              SETTINGS)
+
+
+def test_compaction_fires_exactly_on_threshold():
+    with tempfile.TemporaryDirectory() as root:
+        journal = SessionJournal(root, "t")
+        append_sources(journal, COMPACT_THRESHOLD - 1)
+        assert journal.compactions == 0
+        append_sources(journal, 1, start=COMPACT_THRESHOLD)
+        assert journal.compactions == 1
+
+
+@pytest.mark.parametrize("restart", [False, True])
+def test_cadence_survives_clean_shutdown(restart):
+    """After a clean shutdown the file holds one compacted source record
+    plus one marker; the next compaction must fire exactly when the
+    *source* count reaches the threshold again — the marker (and the
+    restart's lazy recount) must not advance the cadence."""
+    with tempfile.TemporaryDirectory() as root:
+        journal = SessionJournal(root, "t")
+        append_sources(journal, 3)
+        journal.record_clean_shutdown(3)
+        compactions_before = journal.compactions
+
+        if restart:
+            journal = SessionJournal(root, "t")
+            compactions_before = 0
+
+        # One compacted source record is already in the file, so the
+        # threshold is reached on the (COMPACT_THRESHOLD - 1)-th append.
+        append_sources(journal, COMPACT_THRESHOLD - 2, start=10)
+        assert journal.compactions == compactions_before
+        append_sources(journal, 1, start=99)
+        assert journal.compactions == compactions_before + 1
+
+
+def test_blank_and_garbage_lines_do_not_count():
+    with tempfile.TemporaryDirectory() as root:
+        journal = SessionJournal(root, "t")
+        append_sources(journal, 1)
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write("\n\n{\"not\": \"sealed\"}\n")
+
+        journal = SessionJournal(root, "t")
+        append_sources(journal, COMPACT_THRESHOLD - 2, start=10)
+        assert journal.compactions == 0
+        append_sources(journal, 1, start=99)
+        assert journal.compactions == 1
+        # Compaction dropped the garbage along with superseded records.
+        with open(journal.path, encoding="utf-8") as handle:
+            assert len(handle.readlines()) == 1
+
+
+def test_recovery_state_unaffected_by_markers():
+    with tempfile.TemporaryDirectory() as root:
+        journal = SessionJournal(root, "t")
+        append_sources(journal, 2)
+        journal.record_clean_shutdown(2)
+        state = SessionJournal(root, "t").load()
+        assert state is not None
+        assert state.generation == 2
+        assert state.clean
+        assert os.path.exists(journal.path)

@@ -188,6 +188,77 @@ def test_soak_with_injected_worker_sigkill():
     asyncio.run(main())
 
 
+def test_query_latency_on_hot_tenant():
+    """The demand-query latency contract (docs/queries.md): on a hot
+    ~2k-line tenant, ``query`` RPCs answer under 100 ms p95.  The one
+    full analyze that warms the tenant is excluded — it is exactly the
+    cost the demand API exists to avoid."""
+    import time
+
+    from repro.bench import SubjectSpec, generate_subject
+    from repro.checkers import NullDereferenceChecker
+    from repro.query import resolve_sink_sites
+
+    spec = SubjectSpec("soak-query", seed=11, num_functions=80,
+                       layers=4, avg_stmts=8, call_fanout=2,
+                       null_bugs=(3, 3, 3))
+    source = generate_subject(spec).source
+    assert source.count("\n") >= 2000, "tenant shrank below 2k lines"
+    probe = AnalysisSession(source)
+    checker = NullDereferenceChecker()
+    lines = [number for number in range(1, source.count("\n") + 2)
+             if resolve_sink_sites(probe.pdg, source, checker, number)]
+    assert lines, "soak tenant lost its sinks"
+
+    async def main():
+        with tempfile.TemporaryDirectory() as root:
+            app = ServeApp(ServeConfig(cache_root=root, workers=2))
+            try:
+                responses: dict = {}
+                init = await rpc_with_retry(app, {
+                    "jsonrpc": "2.0", "id": "init", "method":
+                    "initialize",
+                    "params": {"tenant": "hot", "source": source}},
+                    responses)
+                assert "result" in init, init.get("error")
+                # Warm the tenant once (excluded from the latency bar).
+                warm = await rpc_with_retry(app, {
+                    "jsonrpc": "2.0", "id": "warm", "method": "analyze",
+                    "params": {"tenant": "hot"}}, responses)
+                assert "result" in warm, warm.get("error")
+
+                samples = []
+                for op in range(40):
+                    line = lines[op % len(lines)]
+                    start = time.monotonic()
+                    envelope = await rpc_with_retry(app, {
+                        "jsonrpc": "2.0", "id": f"q{op}",
+                        "method": "query",
+                        "params": {"tenant": "hot", "sink": line}},
+                        responses)
+                    samples.append(time.monotonic() - start)
+                    assert "result" in envelope, envelope.get("error")
+                    result = envelope["result"]
+                    assert result["region_nodes"] < result["pdg_nodes"]
+                samples.sort()
+                p95 = samples[max(0, int(0.95 * len(samples)) - 1)]
+                assert p95 < 0.100, \
+                    f"query p95 {p95 * 1000:.1f} ms breaks the 100 ms " \
+                    f"contract (samples: {[round(s, 4) for s in samples]})"
+
+                snapshot = (await app.handle({
+                    "jsonrpc": "2.0", "id": "tel",
+                    "method": "telemetry", "params": {}}))["result"]
+                query = snapshot["query"]
+                assert query["demand_queries"] == 40
+                # Repeats hit the per-pair memo instead of re-walking.
+                assert query["region_cache_hits"] >= 40 - len(lines)
+            finally:
+                app.close()
+
+    asyncio.run(main())
+
+
 @pytest.mark.parametrize("seed", FAULT_SEEDS)
 def test_soak_with_seeded_store_faults(seed):
     """Same storm under a seeded store-fault plan (EIO, torn writes,

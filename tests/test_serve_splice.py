@@ -1,0 +1,90 @@
+"""Regression tests: ``splice_function`` vs line comments.
+
+The lexer accepts ``#`` and ``//`` line comments, so held source can
+legally carry braces — or whole ``fun`` headers — inside comments.  The
+splicer must skip comment spans during both the header search and the
+brace scan; these cases corrupted the held source before the fix.
+"""
+
+import pytest
+
+from repro.lang import compile_source
+from repro.serve.protocol import ServeError
+from repro.serve.tenancy import splice_function
+
+
+def test_close_brace_in_hash_comment_does_not_truncate_body():
+    source = (
+        "fun foo(x) {\n"
+        "  # weird } brace in a comment\n"
+        "  y = x + 1;\n"
+        "  return y;\n"
+        "}\n"
+        "fun main(a) {\n"
+        "  b = foo(a);\n"
+        "  return b;\n"
+        "}\n"
+    )
+    edit = "fun foo(x) {\n  y = x + 2;\n  return y;\n}"
+    spliced = splice_function(source, "foo", edit)
+    # The old body must be fully replaced — a desynchronized brace scan
+    # leaves a dangling fragment of it behind.
+    assert "x + 1" not in spliced
+    assert "x + 2" in spliced
+    assert spliced.count("fun foo") == 1
+    compile_source(spliced)
+
+
+def test_open_brace_in_slash_comment_does_not_swallow_next_function():
+    source = (
+        "fun foo(x) {\n"
+        "  // opens { but only in prose\n"
+        "  return x;\n"
+        "}\n"
+        "fun bar(a) {\n"
+        "  return a;\n"
+        "}\n"
+    )
+    edit = "fun foo(x) {\n  return x;\n}"
+    spliced = splice_function(source, "foo", edit)
+    # An over-counted depth makes the scan run on into ``bar`` and
+    # splice it away together with ``foo``.
+    assert "fun bar(a)" in spliced
+    compile_source(spliced)
+
+
+def test_commented_out_header_does_not_shadow_real_definition():
+    source = (
+        "# fun main(a) { old draft }\n"
+        "fun main(a) {\n"
+        "  return a;\n"
+        "}\n"
+    )
+    edit = "fun main(a) {\n  b = a + 1;\n  return b;\n}"
+    spliced = splice_function(source, "main", edit)
+    # Matching the commented-out header replaces the comment instead of
+    # the definition, leaving a duplicate ``fun main`` (a compile
+    # error).  The comment is prose and must survive untouched.
+    assert "old draft" in spliced
+    assert "a + 1" in spliced
+    assert "return a;" not in spliced
+    compile_source(spliced)
+
+
+def test_commented_out_header_in_edit_text_is_ignored():
+    source = "fun main(a) {\n  return a;\n}\n"
+    edit = (
+        "// fun other(x) { }\n"
+        "fun main(a) {\n"
+        "  return a;\n"
+        "}"
+    )
+    spliced = splice_function(source, "main", edit)
+    assert spliced.count("fun main") == 1
+    compile_source(spliced)
+
+
+def test_name_mismatch_still_rejected():
+    source = "fun main(a) {\n  return a;\n}\n"
+    with pytest.raises(ServeError):
+        splice_function(source, "main", "fun other(x) {\n  return x;\n}")

@@ -123,10 +123,12 @@ def test_proven_verdicts_never_contradict_execution(seed):
             # A proven-feasible bug must be a labelled-feasible one...
             assert candidate.source.function in feasible_sources, \
                 (seed, candidate)
-            # ...and its abstract witness must replay concretely.
-            root = candidate.path.source.frame
-            while root.parent is not None and not root.via_return:
-                root = root.parent
+            # ...and its abstract witness must replay concretely when
+            # the path's enclosing activation runs with the witness
+            # arguments (sink-side root: a fact that escapes its birth
+            # function via a return edge replays from the caller whose
+            # body actually reaches the sink).
+            root = candidate.path.root_frame()
             fn = program.functions[root.function]
             args = [decision.witness.get(p.name, 0) for p in fn.params]
             execution = Interpreter(program).run(root.function, args)
@@ -134,3 +136,44 @@ def test_proven_verdicts_never_contradict_execution(seed):
             assert any(e.passed_null
                        for e in execution.events_for(sink_callee)), \
                 (seed, candidate, decision.witness)
+
+
+def test_witness_replays_when_source_escapes_via_return():
+    """A fact born in a parameter-free callee and escaping through a
+    return edge must produce a witness for the *caller* — the function
+    whose execution actually reaches the sink — not the birth function
+    (whose replay would never call anything).  Found by the fuzz test
+    above at seed 382."""
+    program = compile_source("""
+fun make() {
+  p = null;
+  return p;
+}
+fun use(k) {
+  p = make();
+  c = 1;
+  d = 2;
+  if (c < d) {
+    deref(p);
+  }
+  return 0;
+}
+""")
+    pdg = prepare_pdg(program)
+    checker = NullDereferenceChecker()
+    triage = CandidateTriage(pdg, checker)
+
+    candidates = collect_candidates(pdg, checker)
+    assert candidates, "the escaped null must reach the deref"
+    decisions = [(c, triage.decide(c)) for c in candidates]
+    proven = [(c, d) for c, d in decisions
+              if d.verdict is TriageVerdict.PROVEN_FEASIBLE]
+    assert proven, "constant-true guard must be decided in triage"
+    for candidate, decision in proven:
+        root = candidate.path.root_frame()
+        assert root.function == "use"
+        fn = program.functions[root.function]
+        args = [decision.witness.get(p.name, 0) for p in fn.params]
+        execution = Interpreter(program).run(root.function, args)
+        assert any(e.passed_null for e in execution.events_for("deref")), \
+            (candidate, decision.witness)
