@@ -26,7 +26,16 @@ fresh and checks, in order:
   matching a fresh run row for row, every demand verdict must stay
   byte-identical to the full analysis (``match_full``), and every
   pair's region must stay at most ``DEMAND_REGION_CEILING`` of the
-  full PDG's vertices (docs/queries.md).
+  full PDG's vertices (docs/queries.md);
+* **loop summaries** — ``results/BENCH_loops.json`` (a committed
+  ``repro bench --loops`` cell over the loop-heavy subject family)
+  must keep matching a fresh run on every deterministic field, every
+  subject's verdicts must agree exactly between the ``summaries`` and
+  ``unroll`` strategies, every subject must keep at least
+  ``LOOP_NODE_REDUCTION_FLOOR`` times fewer PDG nodes under summaries,
+  and the summary pipeline's wall time (compile + analyze, measured
+  fresh on this machine) must not exceed the unroll pipeline's by more
+  than ``SLACK`` (docs/loops.md).
 
 Exits nonzero with a diagnostic on the first violated property.
 """
@@ -51,6 +60,8 @@ TAINT_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                               os.pardir, "results", "BENCH_taint.json")
 DEMAND_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                                os.pardir, "results", "BENCH_demand.json")
+LOOPS_BASELINE = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                              os.pardir, "results", "BENCH_loops.json")
 
 #: Row fields that must match the baseline exactly: everything the
 #: analysis *decides*, nothing the wall clock touches.  The four graph
@@ -76,6 +87,16 @@ TAINT_EDGE_REDUCTION_FLOOR = 2.0
 #: full PDG's vertex count on the taint cell — the point of the demand
 #: API is that a query touches a small corner of the graph.
 DEMAND_REGION_CEILING = 0.25
+
+#: Every loop-heavy subject must keep at least this many times fewer
+#: PDG nodes under loop summaries than under bounded unrolling at the
+#: same depth bound — the point of solver-driven summarization.
+LOOP_NODE_REDUCTION_FLOOR = 2.0
+
+#: The loop cell's per-strategy deterministic fields (everything the
+#: lowering and analysis *decide*; wall times are checked separately).
+LOOP_CELL_FIELDS = ("program_size", "pdg_nodes", "pdg_edges", "loops",
+                    "verdicts")
 
 
 def fail(message: str) -> None:
@@ -124,6 +145,86 @@ def load_demand_baseline(path: str) -> dict:
         fail(f"baseline {os.path.relpath(path)} has unexpected schema "
              f"{schema!r} — regenerate it with: {regen}")
     return baseline
+
+
+def load_loops_baseline(path: str) -> dict:
+    """Read the committed loop-bench record (gated like the others)."""
+    regen = ("PYTHONPATH=src python -m repro bench --loops "
+             f"--bench-json {os.path.relpath(path)}")
+    try:
+        with open(path) as handle:
+            baseline = json.load(handle)
+        schema = baseline["schema"]
+        baseline["subjects"][0]["summaries"]["pdg_nodes"]  # shape probe
+    except (OSError, ValueError, KeyError, TypeError, IndexError) as error:
+        fail(f"committed baseline {os.path.relpath(path)} is missing or "
+             f"unreadable ({type(error).__name__}: {error}) — regenerate "
+             f"it with: {regen}")
+    if schema != "repro-bench-loops/1":
+        fail(f"baseline {os.path.relpath(path)} has unexpected schema "
+             f"{schema!r} — regenerate it with: {regen}")
+    return baseline
+
+
+def run_loops_bench(record_path: str) -> dict:
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        code = main(["bench", "--loops", "--bench-json", record_path])
+    if code != 0:
+        fail(f"bench --loops exited {code}:\n{buffer.getvalue()}")
+    with open(record_path) as handle:
+        return json.load(handle)
+
+
+def check_loops(fresh: dict, baseline: dict) -> None:
+    """The loop cells: determinism against the committed baseline,
+    exact verdict parity between strategies, the node-reduction floor,
+    and a freshly-measured wall-time comparison."""
+    for key in ("engine", "unroll", "loop_paths", "checkers"):
+        if fresh[key] != baseline[key]:
+            fail(f"loop record field {key!r} drifted from the committed "
+                 f"baseline: expected {baseline[key]!r}, got "
+                 f"{fresh[key]!r} (regenerate results/BENCH_loops.json "
+                 f"only if the change is intended and explained)")
+    if len(fresh["subjects"]) != len(baseline["subjects"]):
+        fail(f"loop family size drifted: baseline has "
+             f"{len(baseline['subjects'])} subjects, fresh run has "
+             f"{len(fresh['subjects'])}")
+    for fresh_cell, base_cell in zip(fresh["subjects"],
+                                     baseline["subjects"]):
+        name = fresh_cell["subject"]
+        if name != base_cell["subject"]:
+            fail(f"loop subject order drifted: expected "
+                 f"{base_cell['subject']!r}, got {name!r}")
+        for strategy in ("summaries", "unroll"):
+            for field in LOOP_CELL_FIELDS:
+                want = base_cell[strategy][field]
+                got = fresh_cell[strategy][field]
+                if want != got:
+                    fail(f"loop cell {name}/{strategy} field {field!r} "
+                         f"drifted from the committed baseline: expected "
+                         f"{want!r}, got {got!r} (regenerate "
+                         f"results/BENCH_loops.json only if the change "
+                         f"is intended and explained)")
+        if not fresh_cell["verdict_parity"]:
+            fail(f"loop subject {name}: summaries and unroll verdicts "
+                 f"disagree")
+        nodes_summ = fresh_cell["summaries"]["pdg_nodes"]
+        nodes_unroll = fresh_cell["unroll"]["pdg_nodes"]
+        if nodes_unroll < LOOP_NODE_REDUCTION_FLOOR * nodes_summ:
+            fail(f"loop subject {name} lost its node-reduction floor: "
+                 f"{nodes_unroll} unrolled nodes vs {nodes_summ} "
+                 f"summarized (< {LOOP_NODE_REDUCTION_FLOOR}x)")
+    summ_wall = sum(s["summaries"]["compile_seconds"]
+                    + s["summaries"]["analyze_seconds"]
+                    for s in fresh["subjects"])
+    unroll_wall = sum(s["unroll"]["compile_seconds"]
+                      + s["unroll"]["analyze_seconds"]
+                      for s in fresh["subjects"])
+    if unroll_wall > NOISE_FLOOR_SECONDS and summ_wall > unroll_wall \
+            * SLACK:
+        fail(f"loop summarization regressed past {SLACK}x of unrolling: "
+             f"{summ_wall:.3f}s vs {unroll_wall:.3f}s")
 
 
 def run_demand_bench(record_path: str) -> dict:
@@ -190,6 +291,7 @@ def run() -> int:
     baseline = load_baseline(BASELINE, "mcf", "null-deref")
     taint_baseline = load_baseline(TAINT_BASELINE, "ffmpeg", "cwe-23")
     demand_baseline = load_demand_baseline(DEMAND_BASELINE)
+    loops_baseline = load_loops_baseline(LOOPS_BASELINE)
 
     with tempfile.TemporaryDirectory() as tmp:
         fresh = run_bench(os.path.join(tmp, "fresh.json"),
@@ -200,10 +302,12 @@ def run() -> int:
                           incremental=True, subject="ffmpeg",
                           checker="cwe-23")
         demand = run_demand_bench(os.path.join(tmp, "demand.json"))
+        loops = run_loops_bench(os.path.join(tmp, "loops.json"))
 
     check_row(fresh, baseline, "mcf")
     check_row(taint, taint_baseline, "taint")
     check_demand(demand, demand_baseline)
+    check_loops(loops, loops_baseline)
 
     view_edges = taint["row"]["view_edges"]
     pdg_edges = taint["row"]["pdg_edges"]
@@ -238,7 +342,9 @@ def run() -> int:
           f"({reduction:.1f}x reduction), demand regions <= "
           f"{demand['max_region_nodes']} of "
           f"{demand['pairs'][0]['pdg_nodes']} vertices over "
-          f"{demand['pairs_queried']} pair(s)")
+          f"{demand['pairs_queried']} pair(s), loop summaries "
+          f"{loops['min_node_reduction']:.2f}x+ node reduction over "
+          f"{len(loops['subjects'])} subject(s) at verdict parity")
     return 0
 
 

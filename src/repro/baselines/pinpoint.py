@@ -238,6 +238,9 @@ class PinpointEngine:
         return {
             "engine": self.name,
             "width": self.pdg.program.width,
+            "loop_strategy": getattr(self.pdg.program, "loop_strategy",
+                                     None),
+            "loop_paths": getattr(self.pdg.program, "loop_paths", None),
             "enabled_passes": None if config.solver.enabled_passes is None
             else list(config.solver.enabled_passes),
             "use_preprocess": config.solver.use_preprocess,

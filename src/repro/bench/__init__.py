@@ -1,7 +1,8 @@
 """Benchmark substrate: subject generation, registry, metrics, harness."""
 
-from repro.bench.generator import (GeneratedSubject, GroundTruthBug,
-                                   SubjectSpec, generate_subject)
+from repro.bench.generator import (LOOP_HEAVY_FAMILY, GeneratedSubject,
+                                   GroundTruthBug, SubjectSpec,
+                                   generate_subject, loop_heavy_source)
 from repro.bench.subjects import (SUBJECTS, Subject, industrial_subjects,
                                   materialize, subject_by_name)
 from repro.bench.metrics import PrecisionRecall, evaluate_reports
@@ -12,6 +13,7 @@ from repro.bench.reporting import (fmt_failure, render_memory_breakdown,
                                    speedup)
 
 __all__ = [
+    "LOOP_HEAVY_FAMILY", "loop_heavy_source",
     "GeneratedSubject", "GroundTruthBug", "SubjectSpec", "generate_subject",
     "SUBJECTS", "Subject", "industrial_subjects", "materialize",
     "subject_by_name",

@@ -50,6 +50,10 @@ class SubjectSpec:
     taint402_bugs: tuple[int, int, int] = (0, 0, 0)
     width: int = 8
     loop_unroll: int = 2
+    #: Loop lowering strategy ("summaries" or "unroll") and the path
+    #: budget per summarized loop (see docs/loops.md).
+    loop_strategy: str = "summaries"
+    loop_paths: int = 64
 
 
 @dataclass(frozen=True)
@@ -130,7 +134,9 @@ class SubjectGenerator:
 
         source = "\n".join(self.lines)
         program = compile_source(source, LoweringConfig(
-            loop_unroll=spec.loop_unroll, width=spec.width))
+            loop_unroll=spec.loop_unroll, width=spec.width,
+            loop_strategy=spec.loop_strategy,
+            loop_paths=spec.loop_paths))
         return GeneratedSubject(spec.name, spec, source, program,
                                 self.ground_truth)
 
@@ -362,3 +368,99 @@ class SubjectGenerator:
 def generate_subject(spec: SubjectSpec) -> GeneratedSubject:
     """Generate one subject deterministically from its spec."""
     return SubjectGenerator(spec).generate()
+
+
+#: The ``repro bench --loops`` subject family: (name, seed) pairs fed to
+#: :func:`loop_heavy_source`.  The perf gate's loop cells pin a committed
+#: run of this family (``results/BENCH_loops.json``).
+LOOP_HEAVY_FAMILY: tuple[tuple[str, int], ...] = (
+    ("loops-a", 7002),
+    ("loops-b", 7003),
+    ("loops-c", 7018),
+)
+
+
+def loop_heavy_source(seed: int, *, functions: int = 4) -> str:
+    """A seeded loop-heavy program (surface source text).
+
+    The family that makes the loop-summary payoff measurable: every
+    function is dominated by ``while`` loops with *concrete* trip counts
+    exceeding the default unroll bound, mixed with free-bound loops and
+    a fully-constant accumulation that the summarizer folds to a single
+    assignment.  Each function also carries an infeasible guarded
+    division arm (solver-prunable), one feasible null dereference, and
+    one ground-truth division by zero, so the null-deref and div-zero
+    checkers both have real work whose verdicts must agree between the
+    ``summaries`` and ``unroll`` strategies.
+
+    Returns source text rather than a compiled program so callers
+    (``repro bench --loops``, tests/test_loops_differential.py) can
+    compile the same subject under several lowering configs.
+    """
+    rng = random.Random(seed)
+    lines: list[str] = []
+    for index in range(functions):
+        lines.append(f"fun loopfn_{index}(k, m) {{")
+        lines.append("  p = null;")
+        lines.append("  acc = k;")
+        for loop in range(rng.randint(4, 5)):
+            iv = f"i{loop}"
+            trip = rng.randint(3, 9)
+            step = rng.randint(1, 2)
+            lines.append(f"  {iv} = 0;")
+            kind = rng.random()
+            if kind < 0.3:
+                # Fully-constant accumulation: the summarizer folds the
+                # whole loop to constant bindings.
+                cv = f"c{loop}"
+                lines.append(f"  {cv} = 0;")
+                lines.append(f"  while ({iv} < {trip}) {{")
+                lines.append(f"    {cv} = {cv} + {rng.randint(1, 4)};")
+                lines.append(f"    {iv} = {iv} + 1;")
+                lines.append("  }")
+                lines.append(f"  acc = acc + {cv};")
+            elif kind < 0.6:
+                # Idempotent body (the accumulator is re-seeded at the
+                # loop head): every iteration computes the same terms,
+                # so hash-consing collapses the summary to one body.
+                wv = f"w{loop}"
+                lines.append(f"  while ({iv} < {trip}) {{")
+                lines.append(f"    {wv} = k;")
+                lines.append(f"    {wv} = {wv} + m;")
+                lines.append(f"    {wv} = {wv} + {rng.randint(1, 9)};")
+                lines.append(f"    {wv} = {wv} + k;")
+                lines.append(f"    {iv} = {iv} + 1;")
+                lines.append("  }")
+                lines.append(f"  acc = acc + {iv};")
+            elif kind < 0.85:
+                # Concrete trip count, loop-carried symbolic
+                # accumulation: the trip arithmetic folds, the body
+                # stays symbolic and is re-emitted per level.
+                lines.append(f"  while ({iv} < {trip}) {{")
+                lines.append("    acc = acc + m;")
+                lines.append(f"    acc = acc + {rng.randint(1, 9)};")
+                lines.append("    acc = acc + k;")
+                lines.append(f"    {iv} = {iv} + {step};")
+                lines.append("  }")
+            else:
+                # Free bound: exit guards stay symbolic, the summary
+                # carries the per-level exit ite chain.
+                lines.append(f"  while ({iv} < m) {{")
+                lines.append("    acc = acc + 1;")
+                lines.append(f"    {iv} = {iv} + {step};")
+                lines.append("  }")
+        # A division behind a guard the solver refutes.
+        lines.append("  if (acc > 100 && acc < 50) {")
+        lines.append("    bad = k / m;")
+        lines.append("  }")
+        # A feasible null dereference.
+        lines.append(f"  if (k > {rng.randint(40, 80)}) {{")
+        lines.append("    deref(p);")
+        lines.append("  }")
+        # A ground-truth division by zero.
+        lines.append("  z = 0;")
+        lines.append("  r = acc / z;")
+        lines.append("  return r + acc;")
+        lines.append("}")
+        lines.append("")
+    return "\n".join(lines)

@@ -45,10 +45,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="machine-readable output")
     scan.add_argument("--dot", metavar="FILE",
                       help="write the PDG in graphviz format")
-    scan.add_argument("--unroll", type=int, default=2,
-                      help="loop unrolling bound (default 2)")
-    scan.add_argument("--width", type=int, default=8,
-                      help="bit width of integers (default 8)")
+    _add_frontend_arguments(scan)
     scan.add_argument("--show-infeasible", action="store_true",
                       help="also list candidates filtered as infeasible")
     scan.add_argument("--verbose", action="store_true",
@@ -57,7 +54,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("subjects", help="list the benchmark subject registry")
 
     bench = sub.add_parser("bench", help="run one benchmark cell")
-    bench.add_argument("--subject", required=True)
+    bench.add_argument("--subject", default=None,
+                       help="registry subject id/name (required unless "
+                            "--loops)")
     bench.add_argument("--engine", default="fusion", choices=ENGINE_CHOICES)
     bench.add_argument("--checker", default="null-deref",
                        choices=sorted(CHECKER_FACTORIES))
@@ -76,6 +75,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "pair through repro.query and record the "
                             "pair-region sizes vs the full PDG (see "
                             "docs/queries.md)")
+    bench.add_argument("--loops", action="store_true",
+                       help="loop-lowering cell: run the loop-heavy "
+                            "subject family under both loop strategies "
+                            "and record PDG sizes, wall times and "
+                            "verdict parity (see docs/loops.md; writes "
+                            "BENCH_loops.json unless --bench-json "
+                            "overrides)")
+    _add_frontend_arguments(bench)
     _add_exec_arguments(bench)
 
     query = sub.add_parser(
@@ -105,10 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
                        action=argparse.BooleanOptionalAction, default=True,
                        help="walk the checker's pruned PDG view "
                             "(default on)")
-    query.add_argument("--unroll", type=int, default=2,
-                       help="loop unrolling bound (default 2)")
-    query.add_argument("--width", type=int, default=8,
-                       help="bit width of integers (default 8)")
+    _add_frontend_arguments(query)
     query.add_argument("--cache-dir", metavar="PATH", default=None,
                        help="artifact store shared with full analyses: "
                             "warm verdicts replay without a solve")
@@ -134,6 +138,7 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=ENGINE_CHOICES)
     analyze.add_argument("--json", action="store_true", dest="as_json",
                          help="machine-readable findings on stdout")
+    _add_frontend_arguments(analyze)
     _add_exec_arguments(analyze)
 
     serve = sub.add_parser(
@@ -201,6 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker-pool probe period; a probe that "
                             "cannot run within one period rebuilds "
                             "the executor; 0 disables (default 10)")
+    _add_frontend_arguments(serve)
 
     pdg = sub.add_parser(
         "pdg",
@@ -220,6 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
     pdg.add_argument("--dot", metavar="FILE",
                      help="write the pruned view in graphviz format "
                           "('-' for stdout; needs exactly one --checker)")
+    _add_frontend_arguments(pdg)
 
     lint = sub.add_parser(
         "lint",
@@ -232,6 +239,46 @@ def build_parser() -> argparse.ArgumentParser:
                       help="machine-readable violation list")
 
     return parser
+
+
+def _add_frontend_arguments(parser: argparse.ArgumentParser) -> None:
+    """Front-end lowering flags, shared by every subcommand that
+    compiles source (scan/query/analyze/bench/serve/pdg).  These used
+    to be copy-pasted per subparser; keep them here so a new knob shows
+    up everywhere at once."""
+    from repro.loops import LOOP_STRATEGIES
+
+    parser.add_argument("--unroll", type=int, default=2,
+                        help="loop depth bound: unroll factor under "
+                             "--loop-strategy unroll, summary path depth "
+                             "under summaries (default 2)")
+    parser.add_argument("--width", type=int, default=8,
+                        help="bit width of integers (default 8)")
+    parser.add_argument("--loop-strategy", dest="loop_strategy",
+                        default="summaries", choices=LOOP_STRATEGIES,
+                        help="loop lowering: solver-driven per-loop "
+                             "summaries (default) or bounded unrolling "
+                             "(see docs/loops.md)")
+    parser.add_argument("--loop-paths", dest="loop_paths", type=int,
+                        default=64, metavar="N",
+                        help="feasible-path budget per summarized loop; "
+                             "loops that exceed it fall back to "
+                             "unrolling (default 64)")
+
+
+def _lowering_config(args: argparse.Namespace) -> LoweringConfig:
+    """The front-end config described by the shared frontend flags."""
+    return LoweringConfig(loop_unroll=args.unroll, width=args.width,
+                          loop_strategy=args.loop_strategy,
+                          loop_paths=args.loop_paths)
+
+
+def _record_loop_telemetry(telemetry, program) -> None:
+    """Fold a compiled program's loop-lowering counters into a
+    telemetry instance (no-op when either side is absent)."""
+    stats = getattr(program, "loop_stats", None)
+    if telemetry is not None and stats is not None:
+        telemetry.record_loops(**stats.as_dict())
 
 
 def _add_exec_arguments(parser: argparse.ArgumentParser) -> None:
@@ -315,8 +362,7 @@ def cmd_scan(args: argparse.Namespace) -> int:
     else:
         with open(args.file) as handle:
             source = handle.read()
-    program = compile_source(source, LoweringConfig(
-        loop_unroll=args.unroll, width=args.width))
+    program = compile_source(source, _lowering_config(args))
     pdg = prepare_pdg(program)
 
     if args.dot:
@@ -451,6 +497,12 @@ def _write_telemetry(args: argparse.Namespace, telemetry) -> bool:
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import run_engine
 
+    if args.loops:
+        return _bench_loops(args)
+    if args.subject is None:
+        print("repro bench: --subject is required (unless --loops)",
+              file=sys.stderr)
+        return 2
     if args.demand:
         return _bench_demand(args)
     if args.triage and args.engine == "infer":
@@ -531,7 +583,11 @@ def _bench_demand(args: argparse.Namespace) -> int:
     settings = EngineSettings(engine=args.engine,
                               incremental=args.incremental,
                               triage=args.triage,
-                              sparsify=args.sparsify)
+                              sparsify=args.sparsify,
+                              loop_unroll=args.unroll,
+                              width=args.width,
+                              loop_strategy=args.loop_strategy,
+                              loop_paths=args.loop_paths)
     session = AnalysisSession(subject.source, settings=settings)
     checker = CHECKER_FACTORIES[args.checker]()
     result = session.analyze(args.checker)
@@ -601,6 +657,113 @@ def _bench_demand(args: argparse.Namespace) -> int:
     return 0 if mismatches == 0 else 2
 
 
+def _loop_verdicts(findings: list[dict]) -> list[list]:
+    """The strategy-independent verdict key of a findings payload.
+
+    SSA spelling (and hence statement ``repr`` and witness bindings)
+    legitimately differs between the ``summaries`` and ``unroll``
+    lowerings; what must not differ is which (source function, sink
+    function) pairs are feasible.  Sorted so report order is free too.
+    """
+    return sorted([f["feasible"], f["source_function"],
+                   f["sink_function"]] for f in findings)
+
+
+def _bench_loops(args: argparse.Namespace) -> int:
+    """The ``repro bench --loops`` cell.
+
+    Compiles every subject of the loop-heavy family
+    (:data:`repro.bench.generator.LOOP_HEAVY_FAMILY`) under both loop
+    strategies at the same depth bound and records, per strategy: PDG
+    size, program size, compile/analyze wall times, the loop-lowering
+    counters, and the findings of the null-deref and div-zero checkers.
+    The record carries the per-subject PDG-node reduction and the
+    verdict-parity bit; ``scripts/check_perf_gate.py`` pins the
+    committed baseline ``results/BENCH_loops.json`` and enforces the
+    reduction floor (see docs/loops.md).
+    """
+    import time
+
+    from repro.bench.generator import LOOP_HEAVY_FAMILY, loop_heavy_source
+    from repro.engine import findings_payload
+
+    if args.engine == "infer":
+        print("repro bench --loops: the infer baseline has no "
+              "per-candidate solve path", file=sys.stderr)
+        return 2
+    checkers = ("null-deref", "div-zero")
+    subjects = []
+    parity = True
+    for name, seed in LOOP_HEAVY_FAMILY:
+        source = loop_heavy_source(seed)
+        cells = {}
+        for strategy in ("summaries", "unroll"):
+            started = time.perf_counter()
+            program = compile_source(source, LoweringConfig(
+                loop_unroll=args.unroll, width=args.width,
+                loop_strategy=strategy, loop_paths=args.loop_paths))
+            compile_seconds = time.perf_counter() - started
+            pdg = prepare_pdg(program)
+            stats = pdg.stats()
+            findings = {}
+            started = time.perf_counter()
+            for checker in checkers:
+                engine = _make_engine(args.engine, pdg, want_model=True,
+                                      incremental=args.incremental,
+                                      sparsify=args.sparsify)
+                result = engine.analyze(CHECKER_FACTORIES[checker]())
+                findings[checker] = findings_payload(result)
+            analyze_seconds = time.perf_counter() - started
+            loop_stats = getattr(program, "loop_stats", None)
+            cells[strategy] = {
+                "program_size": program.size(),
+                "pdg_nodes": stats["vertices"],
+                "pdg_edges": stats["data_edges"] + stats["control_edges"],
+                "compile_seconds": compile_seconds,
+                "analyze_seconds": analyze_seconds,
+                "loops": loop_stats.as_dict() if loop_stats else None,
+                "verdicts": {checker: _loop_verdicts(findings[checker])
+                             for checker in checkers},
+            }
+        match = cells["summaries"]["verdicts"] == \
+            cells["unroll"]["verdicts"]
+        parity = parity and match
+        reduction = cells["unroll"]["pdg_nodes"] \
+            / max(1, cells["summaries"]["pdg_nodes"])
+        subjects.append({
+            "subject": name,
+            "seed": seed,
+            "verdict_parity": match,
+            "node_reduction": round(reduction, 3),
+            "summaries": cells["summaries"],
+            "unroll": cells["unroll"],
+        })
+    record = {
+        "schema": "repro-bench-loops/1",
+        "engine": args.engine,
+        "unroll": args.unroll,
+        "loop_paths": args.loop_paths,
+        "checkers": list(checkers),
+        "verdict_parity": parity,
+        "min_node_reduction": min(s["node_reduction"] for s in subjects),
+        "subjects": subjects,
+    }
+    print(json.dumps(record, indent=2))
+    if not args.no_bench_json:
+        path = args.bench_json
+        if path == "BENCH_incremental.json":
+            path = "BENCH_loops.json"
+        try:
+            with open(path, "w") as handle:
+                json.dump(record, handle, indent=2)
+                handle.write("\n")
+        except OSError as error:
+            print(f"repro: cannot write bench record to {path!r}: "
+                  f"{error}", file=sys.stderr)
+            return 2
+    return 0 if parity else 2
+
+
 def cmd_query(args: argparse.Namespace) -> int:
     from repro.engine import AnalysisSession, EngineSettings
     from repro.exec import Telemetry
@@ -631,13 +794,16 @@ def cmd_query(args: argparse.Namespace) -> int:
                               triage=args.triage,
                               sparsify=args.sparsify,
                               loop_unroll=args.unroll,
-                              width=args.width)
+                              width=args.width,
+                              loop_strategy=args.loop_strategy,
+                              loop_paths=args.loop_paths)
     telemetry = Telemetry() if args.telemetry else None
     try:
         session = AnalysisSession(source, settings=settings, store=store)
     except Exception as error:  # lex/parse/lowering errors
         print(f"repro query: {error}", file=sys.stderr)
         return 2
+    _record_loop_telemetry(telemetry, session.pdg.program)
     try:
         verdict = session.query(args.checker, sink=(sink_line, sink_col),
                                 def_line=args.def_line,
@@ -672,17 +838,35 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 1 if verdict.feasible else 0
 
 
-def _resolve_subject_program(name: str):
-    """A registry subject id/name, or a path to a source file."""
+def _resolve_subject_program(name: str,
+                             args: Optional[argparse.Namespace] = None):
+    """A registry subject id/name, or a path to a source file.
+
+    When ``args`` carries the shared frontend flags, file subjects
+    compile under them and registry subjects are re-generated with their
+    spec's loop knobs replaced — so ``--loop-strategy unroll`` means the
+    same thing for both subject kinds."""
     import os
 
+    config = _lowering_config(args) if args is not None \
+        else LoweringConfig()
     if os.path.exists(name):
         with open(name) as handle:
-            return compile_source(handle.read(), LoweringConfig())
-    from repro.bench.subjects import materialize
+            return compile_source(handle.read(), config)
+    from dataclasses import replace
+
+    from repro.bench.generator import generate_subject
+    from repro.bench.subjects import materialize, subject_by_name
 
     try:
-        return materialize(name).program
+        if args is None:
+            return materialize(name).program
+        spec = replace(subject_by_name(name).spec,
+                       loop_unroll=config.loop_unroll,
+                       width=config.width,
+                       loop_strategy=config.loop_strategy,
+                       loop_paths=config.loop_paths)
+        return generate_subject(spec).program
     except KeyError:
         raise SystemExit(
             f"repro analyze: unknown subject {name!r} — not a registry "
@@ -695,7 +879,8 @@ def cmd_analyze(args: argparse.Namespace) -> int:
               "(infer has no SMT stage)", file=sys.stderr)
         return 2
     exec_config, telemetry = _exec_options(args)
-    program = _resolve_subject_program(args.subject)
+    program = _resolve_subject_program(args.subject, args)
+    _record_loop_telemetry(telemetry, program)
     pdg = prepare_pdg(program)
     engine = _make_engine(args.engine, pdg, want_model=True,
                           query_timeout=args.query_timeout,
@@ -748,7 +933,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         settings=EngineSettings(engine=args.engine,
                                 incremental=not args.no_incremental,
                                 triage=args.triage,
-                                sparsify=args.sparsify),
+                                sparsify=args.sparsify,
+                                loop_unroll=args.unroll,
+                                width=args.width,
+                                loop_strategy=args.loop_strategy,
+                                loop_paths=args.loop_paths),
         workers=args.workers, max_queue=args.max_queue,
         jobs=args.jobs, backend=args.backend,
         cache_root=args.cache_root,
@@ -775,7 +964,7 @@ def cmd_pdg(args: argparse.Namespace) -> int:
     """Per-checker sparsified-view inspection (docs/sparsification.md)."""
     from repro.pdg import build_view, view_to_dot
 
-    program = _resolve_subject_program(args.subject)
+    program = _resolve_subject_program(args.subject, args)
     pdg = prepare_pdg(program)
     checker_names = args.checker or sorted(CHECKER_FACTORIES)
     if args.dot and len(checker_names) != 1:
@@ -794,8 +983,11 @@ def cmd_pdg(args: argparse.Namespace) -> int:
                 with open(args.dot, "w") as handle:
                     handle.write(rendered)
     if args.stats or not args.dot:
-        print(json.dumps({"subject": args.subject, "views": stats},
-                         indent=2))
+        document = {"subject": args.subject, "views": stats}
+        loop_stats = getattr(program, "loop_stats", None)
+        if loop_stats is not None:
+            document["loops"] = loop_stats.as_dict()
+        print(json.dumps(document, indent=2))
     return 0
 
 

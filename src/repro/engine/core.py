@@ -134,10 +134,19 @@ class EngineSettings:
     query_timeout: Optional[float] = None
     loop_unroll: int = 2
     width: int = 8
+    loop_strategy: str = "summaries"
+    loop_paths: int = 64
 
-    def lowering(self) -> LoweringConfig:
+    def lowering(self, summary_cache=None) -> LoweringConfig:
+        """The front-end config; ``summary_cache`` optionally shares a
+        per-session ``repro.loops.SummaryCache`` so hot daemon sessions
+        re-use loop summaries across edits (invalidated only when a
+        loop body's canonical dump or seed kinds change)."""
         return LoweringConfig(loop_unroll=self.loop_unroll,
-                              width=self.width)
+                              width=self.width,
+                              loop_strategy=self.loop_strategy,
+                              loop_paths=self.loop_paths,
+                              summary_cache=summary_cache)
 
     def to_payload(self) -> dict:
         """JSON-safe field dict (the serve session journal persists it,
@@ -163,6 +172,11 @@ class EngineSettings:
         settings = cls(**payload)
         if settings.engine not in ENGINE_CHOICES:
             raise ValueError(f"unknown engine {settings.engine!r}")
+        from repro.loops import LOOP_STRATEGIES
+
+        if settings.loop_strategy not in LOOP_STRATEGIES:
+            raise ValueError(
+                f"unknown loop strategy {settings.loop_strategy!r}")
         return settings
 
 
@@ -193,6 +207,10 @@ class AnalysisSession:
         #: Lazily-lexed token stream of the current source, shared by
         #: every site resolution of this program version.
         self._query_tokens = None
+        #: Loop-summary recipes survive edits: keys canonicalize the
+        #: loop body + seed kinds, so only loops an edit actually
+        #: touches re-summarize (created lazily on first compile).
+        self._summary_cache = None
         if source is not None:
             self.update_source(source)
 
@@ -212,7 +230,12 @@ class AnalysisSession:
         from repro.fusion import prepare_pdg
         from repro.lang.fingerprint import program_keys
 
-        program = compile_source(source, self.settings.lowering())
+        if self._summary_cache is None \
+                and self.settings.loop_strategy == "summaries":
+            from repro.loops import SummaryCache
+            self._summary_cache = SummaryCache()
+        program = compile_source(
+            source, self.settings.lowering(self._summary_cache))
         pdg = prepare_pdg(program)
         engine = build_engine(self.settings.engine, pdg,
                               want_model=self.settings.want_model,

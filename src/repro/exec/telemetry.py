@@ -49,7 +49,10 @@ from repro.smt.solver import SmtStatus
 #: /9 added the "query" section (demand-driven value-flow queries:
 #: queries answered, pair-region nodes/edges vs the full PDG, per-pair
 #: verdict-memo hits, verdicts replayed from the artifact store).
-SCHEMA = "repro-exec-telemetry/9"
+#: /10 added the "loops" section (solver-driven loop summaries: loops
+#: summarized vs fallen back to unrolling, feasible paths enumerated,
+#: summary-cache hits, lowering-time SAT feasibility checks).
+SCHEMA = "repro-exec-telemetry/10"
 
 #: Request-latency samples kept for the percentile estimates; the serve
 #: soak keeps a daemon alive indefinitely, so the window is bounded
@@ -142,6 +145,13 @@ class Telemetry:
             "pdg_edges": 0,          # full-PDG data edges at query time
             "region_cache_hits": 0,  # queries served from the pair memo
             "verdicts_replayed": 0,  # reports replayed from the store
+        }
+        self.loops: dict[str, int] = {
+            "loops_summarized": 0,    # loops lowered as summary regions
+            "paths_enumerated": 0,    # feasible paths across summaries
+            "fallback_unrolls": 0,    # loops that fell back to unrolling
+            "summary_cache_hits": 0,  # recipes reused from the cache
+            "sat_checks": 0,          # lowering-time feasibility solves
         }
         self._latencies: list[float] = []
         self.faults: dict[str, int] = {
@@ -262,6 +272,13 @@ class Telemetry:
             for key, amount in counts.items():
                 self.query[key] = self.query.get(key, 0) + amount
 
+    def record_loops(self, **counts: int) -> None:
+        """One compilation's loop-summarization counters (see the
+        ``loops`` section keys)."""
+        with self._lock:
+            for key, amount in counts.items():
+                self.loops[key] = self.loops.get(key, 0) + amount
+
     def record_fault(self, kind: str, amount: int = 1) -> None:
         """One fault-tolerance event (see the ``faults`` section keys)."""
         with self._lock:
@@ -328,6 +345,7 @@ class Telemetry:
                                   ("incremental", self.incremental),
                                   ("reduce", self.reduce),
                                   ("query", self.query),
+                                  ("loops", self.loops),
                                   ("faults", self.faults)):
                 for key, value in snapshot[section].items():
                     mine[key] = mine.get(key, 0) + value
@@ -386,6 +404,7 @@ class Telemetry:
                 "incremental": dict(self.incremental),
                 "reduce": dict(self.reduce),
                 "query": dict(self.query),
+                "loops": dict(self.loops),
                 "serve": serve,
                 "breaker": dict(self.breaker),
                 "faults": dict(self.faults),

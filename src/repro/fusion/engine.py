@@ -201,14 +201,19 @@ class FusionEngine:
         """Every knob that can change a cacheable verdict (or the report
         built from it).  Time/conflict limits are deliberately excluded:
         exceeding either yields UNKNOWN, which is never persisted, so
-        decided verdicts are limit-independent.  Loop unrolling and
-        recursion cloning happen before the PDG exists, so they are
-        already covered by the per-function content keys."""
+        decided verdicts are limit-independent.  Loop lowering (unroll
+        bound, summarization) happens before the PDG exists, so it is
+        already covered by the per-function content keys; the strategy
+        and path budget are keyed anyway as cheap insurance against a
+        content-key bug replaying verdicts across lowering modes."""
         solver = self.config.solver
         sparse = self.config.sparse
         return {
             "engine": self.name,
             "width": self.pdg.program.width,
+            "loop_strategy": getattr(self.pdg.program, "loop_strategy",
+                                     None),
+            "loop_paths": getattr(self.pdg.program, "loop_paths", None),
             "optimized": solver.optimized,
             "use_quickpaths": solver.use_quickpaths,
             "local_passes": None if solver.local_passes is None

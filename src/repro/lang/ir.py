@@ -230,13 +230,22 @@ class Function:
     body: list[Stmt] = field(default_factory=list)
 
     def statements(self) -> Iterator[Stmt]:
-        """All statements, nested branch bodies included, in program order."""
+        """All statements, nested branch bodies included, in program order.
+
+        Iterative: branch nesting is proportional to the unroll bound,
+        which is user-controlled and may exceed the Python stack.
+        """
 
         def walk(stmts: Sequence[Stmt]) -> Iterator[Stmt]:
-            for stmt in stmts:
+            stack: list[Iterator[Stmt]] = [iter(stmts)]
+            while stack:
+                stmt = next(stack[-1], None)
+                if stmt is None:
+                    stack.pop()
+                    continue
                 yield stmt
                 if isinstance(stmt, Branch):
-                    yield from walk(stmt.body)
+                    stack.append(iter(stmt.body))
 
         return walk(self.body)
 

@@ -47,19 +47,43 @@ class LoweringError(Exception):
 class LoweringConfig:
     """Front-end knobs.
 
-    ``loop_unroll`` is the fixed unrolling bound; ``width`` the bit width
+    ``loop_unroll`` is the fixed iteration bound; ``width`` the bit width
     of integer variables (kept small by default so pure-Python
     bit-blasting stays tractable — the paper uses the native 32).
+
+    ``loop_strategy`` picks how ``while`` loops reach the IR:
+
+    * ``"summaries"`` (default) — solver-driven path focusing: each
+      loop becomes one compact summary region covering exactly the
+      feasible iteration sequences up to ``loop_unroll``, bounded by
+      ``loop_paths`` feasible paths per loop (see ``repro.loops``).
+      Loops the summarizer cannot handle exactly fall back to
+      unrolling, per loop.
+    * ``"unroll"`` — classic bounded unrolling into nested ``if``s.
+
+    ``summary_cache`` optionally shares a ``repro.loops.SummaryCache``
+    across compilations (hot daemon sessions); when ``None`` a
+    per-module cache is used so unroll copies of inner loops still hit.
     """
 
     loop_unroll: int = 2
     width: int = 8
+    loop_strategy: str = "summaries"
+    loop_paths: int = 64
+    summary_cache: Optional[object] = None
 
 
 def lower_module(module: ast.Module,
                  config: Optional[LoweringConfig] = None) -> Program:
     """Lower a parsed module to a validated IR :class:`Program`."""
     config = config if config is not None else LoweringConfig()
+    from repro.loops import LOOP_STRATEGIES, LoopStats, SummaryCache
+    if config.loop_strategy not in LOOP_STRATEGIES:
+        raise ValueError(f"unknown loop strategy {config.loop_strategy!r}")
+    loop_stats = LoopStats()
+    summary_cache = config.summary_cache
+    if summary_cache is None and config.loop_strategy == "summaries":
+        summary_cache = SummaryCache()
     return_types = _infer_return_types(module)
     program = Program(width=config.width)
     program.externs.update(decl.name for decl in module.externs)
@@ -67,9 +91,14 @@ def lower_module(module: ast.Module,
     defined = {f.name for f in module.functions}
     for decl in module.functions:
         lowering = _FunctionLowering(decl, config, return_types, defined,
-                                     program.externs)
+                                     program.externs,
+                                     summary_cache=summary_cache,
+                                     loop_stats=loop_stats)
         program.add(lowering.run())
     program.validate()
+    program.loop_stats = loop_stats
+    program.loop_strategy = config.loop_strategy
+    program.loop_paths = config.loop_paths
     return program
 
 
@@ -122,15 +151,22 @@ def _infer_return_types(module: ast.Module) -> dict[str, VarType]:
 class _FunctionLowering:
     def __init__(self, decl: ast.FunctionDecl, config: LoweringConfig,
                  return_types: dict[str, VarType], defined: set[str],
-                 externs: set[str]) -> None:
+                 externs: set[str], summary_cache: Optional[object] = None,
+                 loop_stats: Optional[object] = None) -> None:
         self.decl = decl
         self.config = config
         self.return_types = return_types
         self.defined = defined
         self.externs = externs
+        self.summary_cache = summary_cache
+        self.loop_stats = loop_stats
         self._versions: dict[str, int] = {}
         self._env: dict[str, Operand] = {}
         self._out: list[Stmt] = []
+        # SSA names provably bound to literal constants; lets the loop
+        # summarizer seed induction variables with their values so trip
+        # counts fold and PDG size stays independent of the unroll bound.
+        self._const_defs: dict[str, Const] = {}
 
     # ------------------------------------------------------------------ #
     # Naming
@@ -173,11 +209,19 @@ class _FunctionLowering:
                 self._lower_return(stmt, out)
                 return  # following statements are dead
             if isinstance(stmt, ast.WhileStmt):
-                unrolled = self._unroll(stmt, self.config.loop_unroll)
-                if unrolled is not None:
-                    stmt = unrolled
-                else:
+                if self.config.loop_unroll <= 0:
+                    continue  # bound 0 drops loops under either strategy
+                if (self.config.loop_strategy == "summaries"
+                        and self._try_summarize_while(stmt, out)):
                     continue
+                if not _block_has_return(stmt.body):
+                    # Fully iterative lowering: no recursion per unroll
+                    # level, so large bounds cannot blow the stack.
+                    self._lower_unrolled_while(stmt, out)
+                    continue
+                # Bodies with early returns reuse the retflag machinery
+                # of the if-lowering path below.
+                stmt = self._unroll(stmt, self.config.loop_unroll)
             if isinstance(stmt, ast.IfStmt):
                 flag_before = self._env[RETFLAG]
                 self._lower_if(stmt, out)
@@ -204,12 +248,85 @@ class _FunctionLowering:
 
     def _unroll(self, stmt: ast.WhileStmt,
                 depth: int) -> Optional[ast.IfStmt]:
-        """``while (c) S`` -> ``if (c) { S; if (c) { S; ... } }``."""
-        if depth <= 0:
-            return None
-        inner = self._unroll(stmt, depth - 1)
-        body = list(stmt.body) + ([inner] if inner is not None else [])
-        return ast.IfStmt(stmt.cond, body, [], stmt.loc)
+        """``while (c) S`` -> ``if (c) { S; if (c) { S; ... } }``.
+
+        Built inside-out iteratively: the unroll bound is user-facing
+        (``--unroll``) and must not be capped by the Python stack.
+        """
+        inner: Optional[ast.IfStmt] = None
+        for _ in range(depth):
+            body = list(stmt.body) + ([inner] if inner is not None else [])
+            inner = ast.IfStmt(stmt.cond, body, [], stmt.loc)
+        return inner
+
+    def _try_summarize_while(self, stmt: ast.WhileStmt,
+                             out: list[Stmt]) -> bool:
+        """Lower ``stmt`` as a solver-driven summary; False = fall back."""
+        from repro import loops
+
+        stats = self.loop_stats
+        if not loops.summarize.loop_eligible(stmt):
+            if stats is not None:
+                stats.fallback_unrolls += 1
+            return False
+        reads, writes = loops.summarize.loop_names(stmt)
+        seed_kinds: dict[str, tuple] = {}
+        for name in sorted(reads | writes):
+            operand = self._env.get(name)
+            if operand is None:
+                continue  # loop-local; reads-before-def fail over to unroll
+            const = operand if isinstance(operand, Const) else \
+                self._const_defs.get(operand.name)
+            if const is not None and not const.is_null:
+                tag = "cb" if const.type is VarType.BOOL else "ci"
+                seed_kinds[name] = (tag, const.value)
+            else:
+                kind = "bool" if _op_type(operand) is VarType.BOOL else "int"
+                seed_kinds[name] = ("v", kind)
+        cache = self.summary_cache
+        if cache is None:
+            from repro.loops import SummaryCache
+            cache = self.summary_cache = SummaryCache()
+        recipe = cache.summarize(stmt, seed_kinds,
+                                 width=self.config.width,
+                                 depth=self.config.loop_unroll,
+                                 loop_paths=self.config.loop_paths,
+                                 stats=stats)
+        if recipe is None:
+            if stats is not None:
+                stats.fallback_unrolls += 1
+            return False
+        bindings = loops.emit_summary(recipe, self._env, self._fresh, out)
+        self._env.update(bindings)
+        if stats is not None:
+            stats.loops_summarized += 1
+        return True
+
+    def _lower_unrolled_while(self, stmt: ast.WhileStmt,
+                              out: list[Stmt]) -> None:
+        """Iteratively lower a return-free ``while`` as nested ``if``s.
+
+        Produces statement-for-statement the same IR as lowering the
+        nested :meth:`_unroll` expansion recursively, but with constant
+        stack depth: conditions and bodies are lowered outside-in, then
+        the ``Branch``/merge pairs are closed inside-out.
+        """
+        frames: list[tuple[Operand, dict[str, Operand], list[Stmt],
+                           list[Stmt]]] = []
+        current_out = out
+        for _ in range(self.config.loop_unroll):
+            cond = self._flatten(stmt.cond, current_out)
+            if _op_type(cond) is not VarType.BOOL:
+                raise LoweringError("branch condition must be boolean",
+                                    stmt.loc)
+            outer_env = dict(self._env)
+            then_out: list[Stmt] = []
+            frames.append((cond, outer_env, then_out, current_out))
+            self._lower_block(stmt.body, then_out)
+            current_out = then_out
+        for cond, outer_env, then_out, parent_out in reversed(frames):
+            self._close_branch(cond, outer_env, self._env, then_out,
+                               dict(outer_env), [], parent_out, stmt.loc)
 
     def _lower_assign(self, stmt: ast.AssignStmt, out: list[Stmt]) -> None:
         if stmt.target.startswith("%"):
@@ -224,6 +341,10 @@ class _FunctionLowering:
             return
         target = self._fresh(stmt.target, _op_type(operand))
         out.append(Assign(target, operand))
+        if isinstance(operand, Const):
+            # SSA: `target` has exactly this one definition, so the loop
+            # summarizer may seed it with the literal value.
+            self._const_defs[target.name] = operand
         self._env[stmt.target] = target
 
     def _lower_return(self, stmt: ast.ReturnStmt, out: list[Stmt]) -> None:
@@ -263,6 +384,13 @@ class _FunctionLowering:
         self._lower_block(stmt.else_body, else_out)
         else_env = self._env
 
+        self._close_branch(cond, outer_env, then_env, then_out, else_env,
+                           else_out, out, stmt.loc)
+
+    def _close_branch(self, cond: Operand, outer_env: dict[str, Operand],
+                      then_env: dict[str, Operand], then_out: list[Stmt],
+                      else_env: dict[str, Operand], else_out: list[Stmt],
+                      out: list[Stmt], loc: ast.SourceLoc) -> None:
         if then_out:
             out.append(Branch(self._fresh("%br", VarType.BOOL), cond,
                               then_out))
@@ -287,7 +415,7 @@ class _FunctionLowering:
             if _op_type(then_val) is not _op_type(else_val):
                 raise LoweringError(
                     f"variable {name} has inconsistent types across "
-                    f"branches", stmt.loc)
+                    f"branches", loc)
             join = self._fresh(name if not name.startswith("%") else "%phi",
                                _op_type(then_val))
             out.append(IfThenElse(join, cond, then_val, else_val))
@@ -367,6 +495,20 @@ class _FunctionLowering:
         else:
             if lt is not VarType.INT or rt is not VarType.INT:
                 raise LoweringError(f"'{op.value}' needs integers", expr.loc)
+
+
+def _block_has_return(stmts: list[ast.Statement]) -> bool:
+    for stmt in stmts:
+        if isinstance(stmt, ast.ReturnStmt):
+            return True
+        if isinstance(stmt, ast.IfStmt):
+            if _block_has_return(stmt.then_body) \
+                    or _block_has_return(stmt.else_body):
+                return True
+        elif isinstance(stmt, ast.WhileStmt):
+            if _block_has_return(stmt.body):
+                return True
+    return False
 
 
 def _op_type(operand: Operand) -> VarType:

@@ -1,0 +1,137 @@
+"""Splice a :class:`SummaryRecipe` into gated-SSA IR.
+
+The emitter is a deterministic term-DAG -> IR translator.  Observables
+(divisions) come first, each materialized as a real ``Binary`` DIV/REM
+statement inside a ``Branch`` on its path guard plus a total
+``ite(guard, result, 0)`` default so every SSA variable is defined on
+every concrete execution (the interpreter's ``ite`` is lazy, but
+``Branch`` bodies are skipped wholesale when the guard is false).
+Output variables follow as ordinary ``Assign``s named after the surface
+variable, so downstream def-use construction, sparsification and
+reports see familiar definitions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.lang.ir import (Assign, Binary, BinOp, Branch, Const, IfThenElse,
+                           Operand, Stmt, Var, VarType)
+from repro.loops.summarize import SummaryRecipe
+from repro.smt.terms import Op, Term
+
+FreshFn = Callable[[str, VarType], Var]
+
+#: Term constructors that translate to a single ``Binary`` statement.
+_BINARY_OPS = {
+    Op.BVADD: BinOp.ADD, Op.BVSUB: BinOp.SUB, Op.BVMUL: BinOp.MUL,
+    Op.BVAND: BinOp.BAND, Op.BVOR: BinOp.BOR, Op.BVXOR: BinOp.BXOR,
+    Op.BVSHL: BinOp.SHL, Op.BVLSHR: BinOp.SHR,
+    Op.SLT: BinOp.LT, Op.SLE: BinOp.LE,
+    Op.AND: BinOp.AND, Op.OR: BinOp.OR,
+}
+
+
+class _Emitter:
+    def __init__(self, recipe: SummaryRecipe,
+                 env: dict[str, Operand], fresh: FreshFn,
+                 out: list[Stmt]) -> None:
+        self.recipe = recipe
+        self.fresh = fresh
+        self.out = out
+        self._cache: dict[int, Operand] = {}
+        for tid, name in recipe.placeholders.items():
+            self._cache[tid] = env[name]
+
+    def operand(self, term: Term) -> Operand:
+        cache = self._cache
+        for node in term.iter_dag():
+            if node.tid in cache:
+                continue
+            cache[node.tid] = self._emit_node(node)
+        return cache[term.tid]
+
+    def _emit_node(self, node: Term) -> Operand:
+        op = node.op
+        if op is Op.CONST:
+            return Const(node.value, VarType.INT)
+        if op is Op.TRUE:
+            return Const(1, VarType.BOOL)
+        if op is Op.FALSE:
+            return Const(0, VarType.BOOL)
+        if op is Op.VAR:
+            raise AssertionError(
+                f"loop summary references unseeded variable {node.name}")
+        if op in (Op.BVUDIV, Op.BVUREM):
+            raise AssertionError(
+                "division term was not recorded as an observable")
+        args = [self._cache[a.tid] for a in node.args]
+        if op is Op.ITE:
+            vtype = VarType.BOOL if node.sort.is_bool else VarType.INT
+            result = self.fresh("%ls", vtype)
+            self.out.append(IfThenElse(result, args[0], args[1], args[2]))
+            return result
+        if op is Op.NOT:
+            result = self.fresh("%ls", VarType.BOOL)
+            self.out.append(Binary(result, BinOp.EQ, args[0],
+                                   Const(0, VarType.BOOL)))
+            return result
+        if op is Op.EQ:
+            result = self.fresh("%ls", VarType.BOOL)
+            self.out.append(Binary(result, BinOp.EQ, args[0], args[1]))
+            return result
+        ir_op = _BINARY_OPS.get(op)
+        if ir_op is None:
+            raise AssertionError(f"loop summary emitted unsupported op {op}")
+        vtype = VarType.BOOL if node.sort.is_bool else VarType.INT
+        # n-ary conjunctions/disjunctions lower to a left-assoc chain.
+        acc = args[0]
+        for arg in args[1:-1]:
+            step = self.fresh("%ls", vtype)
+            self.out.append(Binary(step, ir_op, acc, arg))
+            acc = step
+        result = self.fresh("%ls", vtype)
+        self.out.append(Binary(result, ir_op, acc, args[-1]))
+        return result
+
+    def emit_observable(self, term: Term, guard: Term) -> None:
+        lhs = self.operand(term.args[0])
+        rhs = self.operand(term.args[1])
+        if isinstance(rhs, Const):
+            # Keep the divisor a Var so the div-by-zero checker's sink
+            # edge (and the [0,0] source vertex) survive in the PDG.
+            divisor = self.fresh("%lsd", VarType.INT)
+            self.out.append(Assign(divisor, rhs))
+            rhs = divisor
+        ir_op = BinOp.DIV if term.op is Op.BVUDIV else BinOp.REM
+        if guard.op is Op.TRUE:
+            result = self.fresh("%ls", VarType.INT)
+            self.out.append(Binary(result, ir_op, lhs, rhs))
+            self._cache[term.tid] = result
+            return
+        guard_op = self.operand(guard)
+        guarded = self.fresh("%ls", VarType.INT)
+        branch = self.fresh("%lsbr", VarType.BOOL)
+        self.out.append(Branch(branch, guard_op,
+                               [Binary(guarded, ir_op, lhs, rhs)]))
+        total = self.fresh("%ls", VarType.INT)
+        self.out.append(IfThenElse(total, guard_op, guarded,
+                                   Const(0, VarType.INT)))
+        self._cache[term.tid] = total
+
+
+def emit_summary(recipe: SummaryRecipe, env: dict[str, Operand],
+                 fresh: FreshFn, out: list[Stmt]) -> dict[str, Var]:
+    """Emit ``recipe`` into ``out``; return the new surface bindings."""
+    emitter = _Emitter(recipe, env, fresh, out)
+    for term, guard in recipe.observables:
+        emitter.emit_observable(term, guard)
+    bindings: dict[str, Var] = {}
+    for name, term in recipe.outputs:
+        if recipe.placeholders.get(term.tid) == name:
+            continue  # the loop provably leaves this variable unchanged
+        operand = emitter.operand(term)
+        target = fresh(name, operand.type)
+        out.append(Assign(target, operand))
+        bindings[name] = target
+    return bindings

@@ -231,7 +231,7 @@ class TestTriageFlag:
               "--telemetry", str(out)])
         capsys.readouterr()
         payload = json.loads(out.read_text())
-        assert payload["schema"] == "repro-exec-telemetry/9"
+        assert payload["schema"] == "repro-exec-telemetry/10"
         triage = payload["triage"]
         assert triage["decided_infeasible"] + triage["decided_feasible"] \
             + triage["sent_to_smt"] >= 1

@@ -150,7 +150,7 @@ class TestLoopUnrolling:
           while (i < n) { i = i + 1; }
           return i;
         }
-        """, LoweringConfig(loop_unroll=3))
+        """, LoweringConfig(loop_unroll=3, loop_strategy="unroll"))
         branches = [s for s in stmts_of(prog, "f") if isinstance(s, Branch)]
         assert len(branches) == 3
         # Each unrolled iteration re-evaluates the condition.
@@ -175,7 +175,7 @@ class TestLoopUnrolling:
           while (i < n) { i = i + 1; }
           return i;
         }
-        """, LoweringConfig(loop_unroll=2))
+        """, LoweringConfig(loop_unroll=2, loop_strategy="unroll"))
         prog.validate()
         # i is incremented twice along the all-taken path: i, i.1, i.2 exist.
         names = {s.result.name for s in stmts_of(prog, "f")}

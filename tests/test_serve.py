@@ -277,7 +277,7 @@ def test_telemetry_serve_section_schema():
                 await rpc(app, "initialize", tenant="t", source=SOURCE)
                 await rpc(app, "analyze", tenant="t")
                 snapshot = (await rpc(app, "telemetry"))["result"]
-                assert snapshot["schema"] == "repro-exec-telemetry/9"
+                assert snapshot["schema"] == "repro-exec-telemetry/10"
                 serve = snapshot["serve"]
                 for key in ("requests", "errors", "rejected",
                             "sessions_alive", "replayed_verdicts",

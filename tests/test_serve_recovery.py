@@ -194,6 +194,38 @@ class TestCrashRecovery:
                 app2.close()
         run(main())
 
+    def test_recovery_records_loop_stats(self, tmp_path):
+        """The rehydrate compile summarizes loops like any accepted
+        version; recovered tenants must show up in the telemetry
+        ``loops`` section, not just the serve counters."""
+        loopy = """fun main(a) {
+  p = null;
+  i = 0;
+  acc = a;
+  while (i < 4) { acc = acc + 2; i = i + 1; }
+  if (acc > 60) { deref(p); }
+  return acc;
+}"""
+
+        async def main():
+            tmp = str(tmp_path)
+            app1 = make_app(tmp)
+            try:
+                await rpc(app1, "initialize", tenant="t", source=loopy)
+                await rpc(app1, "analyze", tenant="t")
+            finally:
+                app1.close()
+
+            app2 = make_app(tmp)
+            try:
+                await rpc(app2, "analyze", tenant="t")
+                tel = (await rpc(app2, "telemetry"))["result"]
+                assert tel["serve"]["sessions_recovered"] == 1
+                assert tel["loops"]["loops_summarized"] >= 1
+            finally:
+                app2.close()
+        run(main())
+
     def test_clean_shutdown_is_counted_as_clean(self, tmp_path):
         async def main():
             tmp = str(tmp_path)
